@@ -1,0 +1,221 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// drives the same harness as cmd/experiments, at a reduced scale and on a
+// class-representative benchmark subset so `go test -bench=.` terminates in
+// minutes; run `go run ./cmd/experiments all` for the full-scale numbers
+// recorded in EXPERIMENTS.md.
+//
+// Benchmarks report the headline quantity of their figure as a custom
+// metric (e.g. hm_speedup_pct) alongside ns/op.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// benchSubset is one benchmark per traffic class (LL, LH, HH).
+var benchSubset = []string{"BIN", "CON", "MUM"}
+
+const benchScale = 0.15
+
+func newSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.New(experiments.Options{Scale: benchScale, Benchmarks: benchSubset})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// runPair measures the harmonic-mean speedup of alt over base across the
+// benchmark subset.
+func runPair(b *testing.B, base, alt func(workload.Profile) core.Config) float64 {
+	b.Helper()
+	var ratios []float64
+	for _, abbr := range benchSubset {
+		p, err := workload.ByAbbr(abbr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb := core.MustRun(base(p).ScaleWork(benchScale))
+		ra := core.MustRun(alt(p).ScaleWork(benchScale))
+		ratios = append(ratios, ra.IPC/rb.IPC)
+	}
+	return stats.HarmonicMean(ratios)
+}
+
+// BenchmarkFig02DesignSpace regenerates the Fig 2 design points.
+func BenchmarkFig02DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		rep := s.Fig2()
+		if len(rep.Table.String()) == 0 {
+			b.Fatal("empty fig2")
+		}
+	}
+}
+
+// BenchmarkFig06LimitStudy sweeps the ideal-NoC bandwidth cap (Fig 6).
+func BenchmarkFig06LimitStudy(b *testing.B) {
+	p, _ := workload.ByAbbr("MUM")
+	for i := 0; i < b.N; i++ {
+		ref := core.MustRun(core.Perfect(p).ScaleWork(benchScale)).IPC
+		cfg := core.Baseline(p)
+		capped := core.MustRun(core.IdealCapped(p, cfg.CapForBWFraction(0.816)).ScaleWork(benchScale)).IPC
+		b.ReportMetric(100*capped/ref, "pct_of_infinite_bw")
+	}
+}
+
+// BenchmarkFig07PerfectSpeedup measures the perfect-network speedup (Fig 7).
+func BenchmarkFig07PerfectSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b, core.Baseline, core.Perfect)
+		b.ReportMetric(100*(hm-1), "hm_speedup_pct")
+	}
+}
+
+// BenchmarkFig08SpeedupVsMCRate reproduces the Fig 8 correlation inputs.
+func BenchmarkFig08SpeedupVsMCRate(b *testing.B) {
+	p, _ := workload.ByAbbr("MUM")
+	for i := 0; i < b.N; i++ {
+		perf := core.MustRun(core.Perfect(p).ScaleWork(benchScale))
+		b.ReportMetric(perf.MCInjRate, "mc_flits_per_cycle")
+	}
+}
+
+// BenchmarkFig09BWvsLatency compares 2x bandwidth against 1-cycle routers.
+func BenchmarkFig09BWvsLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bw := runPair(b, core.Baseline,
+			func(p workload.Profile) core.Config { return core.Baseline(p).With2xBW() })
+		lat := runPair(b, core.Baseline,
+			func(p workload.Profile) core.Config { return core.Baseline(p).With1CycleRouters() })
+		b.ReportMetric(100*(bw-1), "hm_2xbw_pct")
+		b.ReportMetric(100*(lat-1), "hm_1cycle_pct")
+	}
+}
+
+// BenchmarkFig10LatencyRatio measures the NoC latency ratio of 1-cycle vs
+// 4-cycle routers.
+func BenchmarkFig10LatencyRatio(b *testing.B) {
+	p, _ := workload.ByAbbr("CON")
+	for i := 0; i < b.N; i++ {
+		base := core.MustRun(core.Baseline(p).ScaleWork(benchScale))
+		fast := core.MustRun(core.Baseline(p).With1CycleRouters().ScaleWork(benchScale))
+		b.ReportMetric(fast.AvgNetLatency/base.AvgNetLatency, "latency_ratio")
+	}
+}
+
+// BenchmarkFig11MCStall measures reply-path blocking at the MCs.
+func BenchmarkFig11MCStall(b *testing.B) {
+	p, _ := workload.ByAbbr("MUM")
+	for i := 0; i < b.N; i++ {
+		res := core.MustRun(core.Baseline(p).ScaleWork(benchScale))
+		b.ReportMetric(100*res.MCStallFraction, "mc_stall_pct")
+	}
+}
+
+// BenchmarkFig16Placement measures checkerboard vs top-bottom placement.
+func BenchmarkFig16Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b, core.Baseline,
+			func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardPlacement() })
+		b.ReportMetric(100*(hm-1), "hm_speedup_pct")
+	}
+}
+
+// BenchmarkFig17Checkerboard measures CR-4VC vs DOR-4VC (both CP).
+func BenchmarkFig17Checkerboard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b,
+			func(p workload.Profile) core.Config {
+				return core.Baseline(p).WithCheckerboardPlacement().WithVCs(4)
+			},
+			func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardRouting() })
+		b.ReportMetric(100*(hm-1), "cr_vs_dor4vc_pct")
+	}
+}
+
+// BenchmarkFig18DoubleNet measures the channel-sliced double network.
+func BenchmarkFig18DoubleNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b,
+			func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardRouting() },
+			func(p workload.Profile) core.Config {
+				return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork()
+			})
+		b.ReportMetric(100*(hm-1), "hm_speedup_pct")
+	}
+}
+
+// BenchmarkFig19MultiPort measures 2 injection ports at MC routers.
+func BenchmarkFig19MultiPort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b,
+			func(p workload.Profile) core.Config {
+				return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork()
+			},
+			func(p workload.Profile) core.Config {
+				return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork().WithMCInjectionPorts(2)
+			})
+		b.ReportMetric(100*(hm-1), "hm_speedup_pct")
+	}
+}
+
+// BenchmarkFig20Combined measures the full throughput-effective design, in
+// both the paper-exact (sliced) and single-network forms.
+func BenchmarkFig20Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b, core.Baseline, core.ThroughputEffective)
+		single := runPair(b, core.Baseline, core.ThroughputEffectiveSingle)
+		b.ReportMetric(100*(hm-1), "hm_speedup_pct")
+		b.ReportMetric(100*(single-1), "hm_speedup_1net_pct")
+	}
+}
+
+// BenchmarkFig21OpenLoop runs one open-loop latency/load point per pattern.
+func BenchmarkFig21OpenLoop(b *testing.B) {
+	runner := traffic.NewMeshRunner(noc.DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		cfg := traffic.DefaultConfig()
+		cfg.InjectionRate = 0.03
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 2000
+		cfg.DrainCycles = 4000
+		res := runner.Run(cfg)
+		b.ReportMetric(res.AvgLatency, "latency_cycles")
+	}
+}
+
+// BenchmarkTable06Area regenerates the area table.
+func BenchmarkTable06Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := area.FromConfig(noc.DefaultConfig(), false)
+		if base.Routers < 60 || base.Routers > 75 {
+			b.Fatalf("baseline router area %v off Table VI", base.Routers)
+		}
+		b.ReportMetric(base.Chip(), "chip_mm2")
+	}
+}
+
+// BenchmarkHeadlineThroughputEffectiveness measures IPC/mm² of the combined
+// design against the baseline (paper: +25.4%).
+func BenchmarkHeadlineThroughputEffectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := runPair(b, core.Baseline, core.ThroughputEffective)
+		single := runPair(b, core.Baseline, core.ThroughputEffectiveSingle)
+		baseChip := area.FromConfig(noc.DefaultConfig(), false).Chip()
+		p, _ := workload.ByAbbr("MUM")
+		teChip := area.FromConfig(core.ThroughputEffective(p).Noc, true).Chip()
+		te1Chip := area.FromConfig(core.ThroughputEffectiveSingle(p).Noc, false).Chip()
+		b.ReportMetric(100*(hm*baseChip/teChip-1), "ipc_per_mm2_gain_pct")
+		b.ReportMetric(100*(single*baseChip/te1Chip-1), "ipc_per_mm2_gain_1net_pct")
+	}
+}

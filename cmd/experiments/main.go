@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each figure/table has an identifier (fig2..fig21, table6,
+// headline); "all" runs the full evaluation in paper order.
+//
+// Usage:
+//
+//	experiments [-scale f] [-bench AES,MUM,...] [-v] all|fig7|table6|...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "kernel length scale (lower = faster, less accurate)")
+	bench := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all 31)")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] %s|all\n", strings.Join(experiments.IDs(), "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Scale: *scale}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	suite, err := experiments.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		rep, err := suite.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

@@ -1,0 +1,115 @@
+// Command tesim runs one closed-loop simulation: a Table I benchmark (or
+// all of them) on one of the paper's network configurations, printing the
+// run's throughput and memory-system statistics.
+//
+// Usage:
+//
+//	tesim -bench MUM -config TE
+//	tesim -bench all -config baseline -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// configs maps CLI names to configuration builders.
+var configs = map[string]func(workload.Profile) core.Config{
+	"baseline": core.Baseline,
+	"2xbw":     func(p workload.Profile) core.Config { return core.Baseline(p).With2xBW() },
+	"1cycle":   func(p workload.Profile) core.Config { return core.Baseline(p).With1CycleRouters() },
+	"cp":       func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardPlacement() },
+	"cpcr":     func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardRouting() },
+	"double": func(p workload.Profile) core.Config {
+		return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork()
+	},
+	"te":      core.ThroughputEffective,
+	"te1net":  core.ThroughputEffectiveSingle,
+	"perfect": core.Perfect,
+	"romm": func(p workload.Profile) core.Config {
+		c := core.Baseline(p).WithCheckerboardPlacement()
+		c.Name = "CP-ROMM"
+		c.Noc.Routing = noc.RoutingROMM
+		c.Noc.NumVCs = 4
+		return c
+	},
+}
+
+func main() {
+	bench := flag.String("bench", "MUM", `benchmark abbreviation from Table I, or "all"`)
+	config := flag.String("config", "baseline", "network configuration: "+strings.Join(configNames(), "|"))
+	scale := flag.Float64("scale", 1.0, "kernel length scale")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	sched := flag.String("sched", "rr", "warp scheduler: rr|gto")
+	flag.Parse()
+
+	build, ok := configs[strings.ToLower(*config)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tesim: unknown config %q (have %s)\n", *config, strings.Join(configNames(), ", "))
+		os.Exit(2)
+	}
+	var profiles []workload.Profile
+	if *bench == "all" {
+		profiles = workload.Catalog()
+	} else {
+		p, err := workload.ByAbbr(strings.ToUpper(*bench))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tesim:", err)
+			os.Exit(2)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	tb := stats.NewTable("tesim results",
+		"bench", "config", "IPC", "icnt cycles", "net lat", "MC stall", "DRAM eff", "L1 hit", "L2 hit")
+	var ipcs []float64
+	for _, p := range profiles {
+		cfg := build(p).ScaleWork(*scale)
+		cfg.Seed = *seed
+		if strings.ToLower(*sched) == "gto" {
+			cfg.Core.Scheduler = gpu.SchedGTO
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tesim:", err)
+			os.Exit(1)
+		}
+		if res.TimedOut {
+			fmt.Fprintf(os.Stderr, "tesim: %s timed out\n", p.Abbr)
+		}
+		ipcs = append(ipcs, res.IPC)
+		tb.AddRow(p.Abbr, res.Config, res.IPC, res.IcntCycles, res.AvgNetLatency,
+			fmt.Sprintf("%.1f%%", 100*res.MCStallFraction),
+			fmt.Sprintf("%.2f", res.DRAMEfficiency),
+			fmt.Sprintf("%.2f", res.L1HitRate),
+			fmt.Sprintf("%.2f", res.L2HitRate))
+	}
+	fmt.Print(tb)
+	if len(ipcs) > 1 {
+		fmt.Printf("harmonic mean IPC: %.2f\n", stats.HarmonicMean(ipcs))
+	}
+}
+
+func configNames() []string {
+	names := make([]string, 0, len(configs))
+	for k := range configs {
+		names = append(names, k)
+	}
+	// Stable order for help text.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,67 @@
+// Designspace reproduces the shape of the paper's Fig 2: the
+// throughput-effective design space. For a mix of Table I benchmarks it
+// places four designs on the (average IPC, 1/area) plane: the balanced
+// baseline mesh, the naive 2x-bandwidth mesh, the combined
+// throughput-effective NoC, and the ideal (zero-area, infinite-bandwidth)
+// network.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A representative subset (one LL, two LH, three HH) keeps the example
+	// fast; use cmd/experiments fig2 for all 31 benchmarks.
+	var profiles []workload.Profile
+	for _, abbr := range []string{"HIS", "CON", "BLK", "MUM", "FWT", "RD"} {
+		p, err := workload.ByAbbr(abbr)
+		if err != nil {
+			panic(err)
+		}
+		profiles = append(profiles, p)
+	}
+
+	type design struct {
+		name  string
+		build func(workload.Profile) core.Config
+		area  float64 // chip mm^2
+	}
+	teNoc := core.ThroughputEffective(profiles[0]).Noc
+	te1Noc := core.ThroughputEffectiveSingle(profiles[0]).Noc
+	bw2 := core.Baseline(profiles[0]).With2xBW().Noc
+	designs := []design{
+		{"Balanced Mesh", core.Baseline, area.FromConfig(core.Baseline(profiles[0]).Noc, false).Chip()},
+		{"2x BW", func(p workload.Profile) core.Config { return core.Baseline(p).With2xBW() },
+			area.FromConfig(bw2, false).Chip()},
+		{"Thr. Eff.", core.ThroughputEffective, area.FromConfig(teNoc, true).Chip()},
+		{"Thr. Eff. (1net)", core.ThroughputEffectiveSingle, area.FromConfig(te1Noc, false).Chip()},
+		{"Ideal NoC", core.Perfect, area.ComputeAreaMM2},
+	}
+
+	fmt.Printf("%-17s %10s %12s %14s %16s\n",
+		"design", "avg IPC", "chip mm^2", "1/mm^2 (x1e3)", "IPC/mm^2 (x1e3)")
+	var baseEff float64
+	for _, d := range designs {
+		var ipcs []float64
+		for _, p := range profiles {
+			ipcs = append(ipcs, core.MustRun(d.build(p).ScaleWork(0.4)).IPC)
+		}
+		avg := stats.ArithmeticMean(ipcs)
+		eff := avg / d.area
+		if baseEff == 0 {
+			baseEff = eff
+		}
+		fmt.Printf("%-17s %10.1f %12.1f %14.4f %16.3f   (%+.1f%% vs baseline)\n",
+			d.name, avg, d.area, 1e3/d.area, 1e3*eff, 100*(eff/baseEff-1))
+	}
+	fmt.Println("\nCurves of constant IPC/mm^2 run diagonally in Fig 2; designs to the")
+	fmt.Println("upper-right are more throughput-effective.")
+}

@@ -1,0 +1,68 @@
+// Openloop reproduces the shape of the paper's Fig 21: latency versus
+// offered load for many-to-few-to-many traffic (1-flit requests from 28
+// compute nodes, 4-flit replies from 8 MCs) on the baseline top-bottom
+// mesh and on the checkerboard design with 2 MC injection ports, under
+// uniform-random and hotspot request patterns.
+//
+//	go run ./examples/openloop
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/traffic"
+)
+
+func main() {
+	tb := noc.DefaultConfig()
+
+	cpcr2p := tb
+	cpcr2p.Checkerboard = true
+	cpcr2p.Routing = noc.RoutingCheckerboard
+	cpcr2p.MCs = noc.CheckerboardPlacement(6, 6, 8)
+	cpcr2p.NumVCs = 4
+	cpcr2p.MCInjPorts = 2
+
+	configs := []struct {
+		name string
+		cfg  noc.Config
+	}{
+		{"TB-DOR", tb},
+		{"CP-CR-2P", cpcr2p},
+	}
+	rates := []float64{0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08}
+
+	for _, pattern := range []traffic.Pattern{traffic.UniformRandom, traffic.Hotspot} {
+		fmt.Printf("== %s many-to-few-to-many ==\n", pattern)
+		fmt.Printf("%-10s", "offered")
+		for _, c := range configs {
+			fmt.Printf("  %12s", c.name)
+		}
+		fmt.Println()
+		runners := make([]*traffic.Runner, len(configs))
+		for i, c := range configs {
+			runners[i] = traffic.NewMeshRunner(c.cfg)
+		}
+		for _, rate := range rates {
+			fmt.Printf("%-10.3f", rate)
+			for i := range configs {
+				cfg := traffic.DefaultConfig()
+				cfg.Pattern = pattern
+				cfg.InjectionRate = rate
+				cfg.WarmupCycles = 1000
+				cfg.MeasureCycles = 4000
+				cfg.DrainCycles = 8000
+				res := runners[i].Run(cfg)
+				mark := ""
+				if res.Saturated {
+					mark = "*"
+				}
+				fmt.Printf("  %10.1f%-2s", res.AvgLatency, mark)
+			}
+			fmt.Println()
+		}
+		fmt.Println("(* = offered load beyond saturation)")
+		fmt.Println()
+	}
+}

@@ -1,0 +1,214 @@
+// Package cache implements the set-associative caches of the baseline
+// accelerator (per-core 16 KB L1 data caches and 128 KB L2 banks at each
+// memory controller, Table II) plus the miss-status holding registers
+// (MSHRs) that merge outstanding misses to the same line.
+//
+// Caches are write-back, write-allocate with LRU replacement, as described
+// in §II of the paper.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (64 in the paper)
+	Ways      int // associativity
+}
+
+// Validate checks that the geometry is consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: all config fields must be positive: %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: LineBytes must be a power of two, got %d", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: SizeBytes %d not a multiple of LineBytes %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count must be a power of two, got %d", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits / (hits+misses), 0 when no accesses occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a blocking set-associative array model: it tracks tag state only
+// (no data), which is all a timing simulator needs.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	shift   uint
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), shift: shift}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) index(a addr.Address) (set uint64, tag uint64) {
+	lineAddr := uint64(a) >> c.shift
+	return lineAddr & c.setMask, lineAddr >> 0 // tag keeps full line address for simplicity
+}
+
+// Probe reports whether a is present, without updating LRU or dirty state.
+func (c *Cache) Probe(a addr.Address) bool {
+	set, tag := c.index(a)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up a. On a hit it updates LRU (and dirty state when isWrite)
+// and returns hit=true. On a miss it only records the miss; callers decide
+// whether to Fill (write-allocate happens at fill time, mirroring the
+// request/reply flow of the real machine).
+func (c *Cache) Access(a addr.Address, isWrite bool) (hit bool) {
+	set, tag := c.index(a)
+	c.tick++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if isWrite {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Fill installs the line holding a, evicting the LRU way if needed.
+// When the victim is dirty, Fill returns its line base address and
+// writeback=true so the caller can issue the write-back request.
+// markDirty installs the line already dirty (write-allocate on a store miss).
+func (c *Cache) Fill(a addr.Address, markDirty bool) (victim addr.Address, writeback bool) {
+	set, tag := c.index(a)
+	c.tick++
+	ways := c.sets[set]
+	// Already present (e.g. filled by a merged miss): just update state.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if markDirty {
+				ways[i].dirty = true
+			}
+			return 0, false
+		}
+	}
+	victimIdx := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victimIdx = i
+			break
+		}
+		if ways[i].lru < ways[victimIdx].lru {
+			victimIdx = i
+		}
+	}
+	v := &ways[victimIdx]
+	if v.valid && v.dirty {
+		victim = addr.Address(v.tag << c.shift)
+		writeback = true
+		c.stats.Writebacks++
+	}
+	*v = line{tag: tag, valid: true, dirty: markDirty, lru: c.tick}
+	return victim, writeback
+}
+
+// FlushDirty cleans every dirty line, returning their base addresses so the
+// caller can issue write-backs (the software-managed coherence flush at
+// kernel boundaries, §II of the paper). Lines stay resident but clean.
+func (c *Cache) FlushDirty() []addr.Address {
+	var dirty []addr.Address
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.valid && ln.dirty {
+				dirty = append(dirty, addr.Address(ln.tag<<c.shift))
+				ln.dirty = false
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return dirty
+}
+
+// InvalidateAll drops every line without writebacks (used between kernels,
+// mirroring software-managed coherence flushes).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// Stats returns the event counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }

@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func l1Config() Config { return Config{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 4} }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 5},
+		{SizeBytes: 64 * 3, LineBytes: 64, Ways: 1}, // 3 sets: not power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v): want validation error", i, cfg)
+		}
+	}
+	if err := l1Config().Validate(); err != nil {
+		t.Errorf("L1 config should validate: %v", err)
+	}
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := MustNew(l1Config())
+	a := addr.Address(0x1000)
+	if c.Access(a, false) {
+		t.Fatal("cold cache should miss")
+	}
+	if _, wb := c.Fill(a, false); wb {
+		t.Fatal("fill into empty set should not write back")
+	}
+	if !c.Access(a, false) {
+		t.Fatal("line should hit after fill")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestSameLineDifferentOffsetsHit(t *testing.T) {
+	c := MustNew(l1Config())
+	c.Fill(0x2000, false)
+	for off := addr.Address(0); off < 64; off += 4 {
+		if !c.Access(0x2000+off, false) {
+			t.Fatalf("offset %d of a filled line missed", off)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way cache: fill 4 lines in one set, touch the first, fill a 5th;
+	// the second line (LRU) must be the victim.
+	c := MustNew(l1Config())
+	sets := uint64(16 * 1024 / 64 / 4) // 64 sets
+	stride := addr.Address(sets * 64)  // same set, different tag
+	lines := []addr.Address{0, stride, 2 * stride, 3 * stride}
+	for _, a := range lines {
+		c.Fill(a, false)
+	}
+	c.Access(lines[0], false) // refresh line 0
+	c.Fill(4*stride, false)   // evicts lines[1]
+	if !c.Probe(lines[0]) {
+		t.Error("recently used line was evicted")
+	}
+	if c.Probe(lines[1]) {
+		t.Error("LRU line should have been evicted")
+	}
+	for _, a := range lines[2:] {
+		if !c.Probe(a) {
+			t.Errorf("line %#x unexpectedly evicted", a)
+		}
+	}
+}
+
+func TestDirtyEvictionProducesWriteback(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 64, Ways: 1}) // 2 sets, direct-mapped
+	c.Fill(0x0, true)                                            // dirty line in set 0
+	victim, wb := c.Fill(0x80, false)                            // set 0 again (stride 128)
+	if !wb {
+		t.Fatal("evicting a dirty line must produce a writeback")
+	}
+	if victim != 0x0 {
+		t.Errorf("writeback victim = %#x, want 0x0", victim)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	c.Fill(0x0, false)
+	c.Access(0x0, true) // write hit -> dirty
+	if _, wb := c.Fill(0x80, false); !wb {
+		t.Error("line dirtied by a write hit should write back on eviction")
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	c.Fill(0x0, false)
+	if _, wb := c.Fill(0x80, false); wb {
+		t.Error("clean eviction should not write back")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := MustNew(l1Config())
+	c.Fill(0x40, false)
+	if _, wb := c.Fill(0x40, true); wb {
+		t.Error("re-fill of resident line must not evict")
+	}
+	// The re-fill with markDirty must dirty the line.
+	cDM := MustNew(Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	cDM.Fill(0x0, false)
+	cDM.Fill(0x0, true)
+	if _, wb := cDM.Fill(0x80, false); !wb {
+		t.Error("re-fill with markDirty should have dirtied the line")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := MustNew(l1Config())
+	c.Fill(0x100, true)
+	c.InvalidateAll()
+	if c.Probe(0x100) {
+		t.Error("line survived InvalidateAll")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", s.HitRate())
+	}
+}
+
+func TestCachePropertyFilledLinesProbeTrue(t *testing.T) {
+	// Property: immediately after Fill(a), Probe(a) is true regardless of
+	// the fill history.
+	f := func(raws []uint32) bool {
+		c := MustNew(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+		for _, r := range raws {
+			a := addr.Address(r) &^ 63
+			c.Fill(a, r%2 == 0)
+			if !c.Probe(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachePropertyCapacityBound(t *testing.T) {
+	// Property: the number of distinct probe-true lines never exceeds the
+	// cache's line capacity.
+	f := func(raws []uint16) bool {
+		cfg := Config{SizeBytes: 512, LineBytes: 64, Ways: 2} // 8 lines
+		c := MustNew(cfg)
+		seen := map[addr.Address]bool{}
+		for _, r := range raws {
+			a := addr.Address(r) &^ 63
+			c.Fill(a, false)
+			seen[a] = true
+		}
+		resident := 0
+		for a := range seen {
+			if c.Probe(a) {
+				resident++
+			}
+		}
+		return resident <= cfg.SizeBytes/cfg.LineBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// defaultMaxIcntCycles is the safety stop for runs that fail to converge.
+const defaultMaxIcntCycles = 30_000_000
+
+// Result summarizes one closed-loop run.
+type Result struct {
+	Benchmark string
+	Config    string
+
+	IPC          float64 // scalar instructions per core clock
+	ScalarInstrs uint64
+	CoreCycles   uint64
+	IcntCycles   uint64
+
+	AvgNetLatency   float64 // mean packet network latency, icnt cycles
+	AcceptedBytes   float64 // payload bytes/cycle/node (traffic class metric)
+	MCStallFraction float64 // mean over MCs (Fig 11 metric)
+	MCInjRate       float64 // mean flits/cycle at MC nodes (Fig 8 x-axis)
+	CoreInjRate     float64 // mean flits/cycle at compute nodes
+	DRAMEfficiency  float64 // mean over channels
+	L1HitRate       float64
+	L2HitRate       float64
+	TimedOut        bool // hit MaxIcntCycles before completing
+}
+
+// System is one assembled accelerator.
+type System struct {
+	cfg       Config
+	sched     *timing.Scheduler
+	net       noc.Network
+	topo      *noc.Topology
+	mapper    *addr.Mapper
+	cores     []*gpu.Core
+	coreNodes []noc.NodeID
+	coreOf    map[noc.NodeID]int
+	mcs       []*mem.MCNode
+	mcOf      map[noc.NodeID]*mem.MCNode
+	mcNodes   []noc.NodeID
+}
+
+// NewSystem builds the system for cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := timing.NewScheduler(cfg.Clocks.CoreMHz, cfg.Clocks.IcntMHz, cfg.Clocks.DRAMMHz)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, sched: sched}
+
+	switch cfg.Net {
+	case NetMesh:
+		m, err := noc.NewMesh(cfg.Noc)
+		if err != nil {
+			return nil, err
+		}
+		s.net, s.topo = m, m.Topology()
+	case NetDouble, NetDoubleBalanced:
+		build := noc.NewDouble
+		if cfg.Net == NetDoubleBalanced {
+			build = noc.NewDoubleBalanced
+		}
+		d, err := build(cfg.Noc)
+		if err != nil {
+			return nil, err
+		}
+		s.net, s.topo = d, d.Subnet(noc.ClassRequest).Topology()
+	case NetPerfect, NetIdealCapped:
+		capFlits := 0.0
+		if cfg.Net == NetIdealCapped {
+			capFlits = cfg.IdealCapFlits
+		}
+		n, err := noc.NewIdeal(cfg.Noc.Width*cfg.Noc.Height, cfg.Noc.FlitBytes, capFlits)
+		if err != nil {
+			return nil, err
+		}
+		// Node roles come from a plain topology (half-routers irrelevant).
+		topo, err := noc.NewTopology(cfg.Noc.Width, cfg.Noc.Height, false, cfg.Noc.MCs)
+		if err != nil {
+			return nil, err
+		}
+		s.net, s.topo = n, topo
+	default:
+		return nil, fmt.Errorf("core: unknown network kind %v", cfg.Net)
+	}
+
+	s.mapper, err = addr.NewMapper(addr.Config{
+		NumMCs:     len(cfg.Noc.MCs),
+		LineBytes:  uint64(cfg.Core.L1.LineBytes),
+		BanksPerMC: uint64(cfg.Mem.DRAM.NumBanks),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s.coreOf = make(map[noc.NodeID]int)
+	computeNodes := s.topo.ComputeNodes()
+	for i, node := range computeNodes {
+		gen, err := workload.NewGenerator(cfg.Workload, i, len(computeNodes), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c, err := gpu.New(cfg.Core, gen)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+		s.coreNodes = append(s.coreNodes, node)
+		s.coreOf[node] = i
+	}
+
+	s.mcOf = make(map[noc.NodeID]*mem.MCNode)
+	for _, node := range s.topo.MCs() {
+		mc, err := mem.New(cfg.Mem, node, s.mapper)
+		if err != nil {
+			return nil, err
+		}
+		s.mcs = append(s.mcs, mc)
+		s.mcOf[node] = mc
+		s.mcNodes = append(s.mcNodes, node)
+	}
+	return s, nil
+}
+
+// Run executes the kernel to completion (or the cycle cap) and returns the
+// run's statistics.
+func Run(cfg Config) (Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// MustRun is Run but panics on error.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Run drives the clock domains until the kernel completes.
+func (s *System) Run() Result {
+	maxIcnt := s.cfg.MaxIcntCycles
+	if maxIcnt == 0 {
+		maxIcnt = defaultMaxIcntCycles
+	}
+	buf := make([]timing.Domain, 0, 3)
+	timedOut := false
+	for !s.done() {
+		if s.sched.Cycles(timing.DomainInterconnect) >= maxIcnt {
+			timedOut = true
+			break
+		}
+		buf = s.sched.Step(buf)
+		for _, d := range buf {
+			switch d {
+			case timing.DomainCore:
+				for _, c := range s.cores {
+					c.Tick()
+				}
+			case timing.DomainInterconnect:
+				s.icntTick()
+			case timing.DomainDRAM:
+				for _, mc := range s.mcs {
+					mc.TickDRAM()
+				}
+			}
+		}
+	}
+	return s.result(timedOut)
+}
+
+// icntTick runs one interconnect cycle: core requests enter the network,
+// MCs process and inject replies, the network moves flits, and deliveries
+// fan back out to cores and MCs.
+func (s *System) icntTick() {
+	s.injectCoreRequests()
+	cycle := s.net.Cycle()
+	for _, mc := range s.mcs {
+		mc.TickIcnt(cycle, s.net)
+	}
+	s.net.Tick()
+	s.deliver()
+}
+
+func (s *System) injectCoreRequests() {
+	for i, c := range s.cores {
+		for {
+			req, ok := c.PeekRequest()
+			if !ok {
+				break
+			}
+			pkt := s.packetFor(s.coreNodes[i], req)
+			if !s.net.TryInject(pkt) {
+				break
+			}
+			c.PopRequest()
+		}
+	}
+}
+
+func (s *System) packetFor(src noc.NodeID, req gpu.MemRequest) *noc.Packet {
+	bytes := mem.ReadRequestBytes
+	if req.Write {
+		bytes = mem.WriteRequestBytes
+	}
+	return &noc.Packet{
+		Src:   src,
+		Dst:   s.mcNodes[s.mapper.MC(req.Line)],
+		Class: noc.ClassRequest,
+		Bytes: bytes,
+		Meta:  mem.Request{Line: req.Line, Write: req.Write},
+	}
+}
+
+func (s *System) deliver() {
+	for idx, node := range s.coreNodes {
+		for _, pkt := range s.net.Delivered(node) {
+			line, ok := pkt.Meta.(addr.Address)
+			if !ok {
+				panic(fmt.Sprintf("core: compute node %d received non-reply packet %d", node, pkt.ID))
+			}
+			s.cores[idx].DeliverFill(line)
+		}
+	}
+	for i, node := range s.mcNodes {
+		for _, pkt := range s.net.Delivered(node) {
+			s.mcs[i].AcceptRequest(pkt)
+		}
+	}
+}
+
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	if !s.net.Quiet() {
+		return false
+	}
+	for _, mc := range s.mcs {
+		if mc.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) result(timedOut bool) Result {
+	res := Result{
+		Benchmark:  s.cfg.Workload.Abbr,
+		Config:     s.cfg.Name,
+		CoreCycles: s.sched.Cycles(timing.DomainCore),
+		IcntCycles: s.sched.Cycles(timing.DomainInterconnect),
+		TimedOut:   timedOut,
+	}
+	var l1Hits, l1Total uint64
+	for _, c := range s.cores {
+		st := c.Stats()
+		res.ScalarInstrs += st.ScalarInstrs
+		cs := c.L1Stats()
+		l1Hits += cs.Hits
+		l1Total += cs.Hits + cs.Misses
+	}
+	if res.CoreCycles > 0 {
+		res.IPC = float64(res.ScalarInstrs) / float64(res.CoreCycles)
+	}
+	if l1Total > 0 {
+		res.L1HitRate = float64(l1Hits) / float64(l1Total)
+	}
+
+	ns := s.net.Stats()
+	res.AvgNetLatency = ns.NetLatency.Value()
+	res.AcceptedBytes = ns.AcceptedBytesPerCycle()
+	for _, node := range s.mcNodes {
+		res.MCInjRate += ns.InjectionRate(node)
+	}
+	res.MCInjRate /= float64(len(s.mcNodes))
+	for _, node := range s.coreNodes {
+		res.CoreInjRate += ns.InjectionRate(node)
+	}
+	res.CoreInjRate /= float64(len(s.coreNodes))
+
+	var l2Hits, l2Total uint64
+	for _, mc := range s.mcs {
+		res.MCStallFraction += mc.Stats().StallFraction()
+		res.DRAMEfficiency += mc.DRAMStats().Efficiency()
+		cs := mc.L2Stats()
+		l2Hits += cs.Hits
+		l2Total += cs.Hits + cs.Misses
+	}
+	res.MCStallFraction /= float64(len(s.mcs))
+	res.DRAMEfficiency /= float64(len(s.mcs))
+	if l2Total > 0 {
+		res.L2HitRate = float64(l2Hits) / float64(l2Total)
+	}
+	return res
+}
+
+// RowLocality returns the mean DRAM row-hit rate across channels (used by
+// calibration tooling).
+func (s *System) RowLocality() float64 {
+	total := 0.0
+	for _, mc := range s.mcs {
+		total += mc.DRAMStats().RowLocality()
+	}
+	return total / float64(len(s.mcs))
+}
+
+// AvgDRAMQueue returns the mean DRAM queue occupancy across channels.
+func (s *System) AvgDRAMQueue() float64 {
+	total := 0.0
+	for _, mc := range s.mcs {
+		st := mc.DRAMStats()
+		if st.TotalQueueSamples > 0 {
+			total += float64(st.QueueOccupancySum) / float64(st.TotalQueueSamples)
+		}
+	}
+	return total / float64(len(s.mcs))
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quickProfile is a small kernel that finishes fast in tests.
+func quickProfile(class string) workload.Profile {
+	p := workload.Profile{
+		Name: "quick", Abbr: "QCK", Class: class,
+		Warps: 8, InstrsPerWarp: 60, MemFraction: 0.10, WriteFraction: 0.2,
+		LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 256,
+		Sequential: 0.8, Reuse: 0.1,
+	}
+	if class == "HH" {
+		p.MemFraction = 0.45
+		p.Sequential = 0.4
+		p.WorkingSetKB = 1024
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Baseline(quickProfile("LL"))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	bad := good
+	bad.Clocks.CoreMHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = good
+	bad.Net = NetIdealCapped
+	if err := bad.Validate(); err == nil {
+		t.Error("capped net without cap accepted")
+	}
+	bad = good
+	bad.Noc.MCs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no MCs accepted")
+	}
+}
+
+func TestConfigPresetNames(t *testing.T) {
+	p := quickProfile("LL")
+	cases := []struct {
+		cfg  Config
+		name string
+	}{
+		{Baseline(p), "TB-DOR"},
+		{Baseline(p).With2xBW(), "2x-TB-DOR"},
+		{Baseline(p).WithCheckerboardPlacement(), "CP-DOR"},
+		{Baseline(p).WithCheckerboardRouting(), "CP-CR"},
+		{ThroughputEffective(p), "Thr.Eff."},
+		{Perfect(p), "Perfect"},
+	}
+	for _, c := range cases {
+		if c.cfg.Name != c.name {
+			t.Errorf("config name = %q, want %q", c.cfg.Name, c.name)
+		}
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestCapForBWFraction(t *testing.T) {
+	// Paper footnote 3: x = 0.816 corresponds to N = 12 flits/iclk.
+	cfg := Baseline(quickProfile("LL"))
+	n := cfg.CapForBWFraction(0.816)
+	if n < 11.5 || n > 12.5 {
+		t.Errorf("CapForBWFraction(0.816) = %v, want ~12", n)
+	}
+}
+
+func TestBaselineRunCompletes(t *testing.T) {
+	res := MustRun(Baseline(quickProfile("LL")))
+	if res.TimedOut {
+		t.Fatal("baseline run timed out")
+	}
+	if res.IPC <= 0 || res.IPC > 8*28 {
+		t.Errorf("IPC = %v out of plausible range", res.IPC)
+	}
+	// 28 cores x 8 warps x 60 instrs x 32 threads.
+	want := uint64(28 * 8 * 60 * 32)
+	if res.ScalarInstrs != want {
+		t.Errorf("scalar instrs = %d, want %d", res.ScalarInstrs, want)
+	}
+	if res.AvgNetLatency <= 0 {
+		t.Error("no network latency measured")
+	}
+}
+
+func TestPerfectBeatsBaselineOnHH(t *testing.T) {
+	p := quickProfile("HH")
+	base := MustRun(Baseline(p))
+	perf := MustRun(Perfect(p))
+	if base.TimedOut || perf.TimedOut {
+		t.Fatal("run timed out")
+	}
+	if perf.IPC <= base.IPC {
+		t.Errorf("perfect IPC %v not above baseline %v for memory-bound kernel",
+			perf.IPC, base.IPC)
+	}
+	if perf.MCStallFraction != 0 {
+		t.Errorf("perfect network should never stall MCs, got %v", perf.MCStallFraction)
+	}
+}
+
+func TestIdealCapLimitsThroughput(t *testing.T) {
+	p := quickProfile("HH")
+	loose := MustRun(IdealCapped(p, 20))
+	tight := MustRun(IdealCapped(p, 0.5))
+	if tight.IPC >= loose.IPC {
+		t.Errorf("tight cap IPC %v not below loose cap IPC %v", tight.IPC, loose.IPC)
+	}
+}
+
+func TestAllNetworkKindsComplete(t *testing.T) {
+	p := quickProfile("LL")
+	configs := []Config{
+		Baseline(p),
+		Baseline(p).With2xBW(),
+		Baseline(p).With1CycleRouters(),
+		Baseline(p).WithCheckerboardPlacement(),
+		Baseline(p).WithCheckerboardRouting(),
+		Baseline(p).WithCheckerboardRouting().WithDoubleNetwork(),
+		ThroughputEffective(p),
+		Perfect(p),
+		IdealCapped(p, 12),
+	}
+	for _, cfg := range configs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.TimedOut {
+			t.Fatalf("%s timed out", cfg.Name)
+		}
+		if res.IPC <= 0 {
+			t.Errorf("%s: IPC = %v", cfg.Name, res.IPC)
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	p := quickProfile("HH")
+	a := MustRun(Baseline(p))
+	b := MustRun(Baseline(p))
+	if a.IPC != b.IPC || a.IcntCycles != b.IcntCycles || a.MCStallFraction != b.MCStallFraction {
+		t.Errorf("nondeterministic runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestMemoryBoundKernelStallsMCs(t *testing.T) {
+	res := MustRun(Baseline(quickProfile("HH")))
+	if res.MCStallFraction <= 0 {
+		t.Errorf("memory-bound kernel produced no MC stalls (%v)", res.MCStallFraction)
+	}
+	if res.MCInjRate <= res.CoreInjRate {
+		t.Errorf("MC injection rate %v not above core rate %v (many-to-few imbalance)",
+			res.MCInjRate, res.CoreInjRate)
+	}
+}
+
+func TestScaleWork(t *testing.T) {
+	cfg := Baseline(quickProfile("LL")).ScaleWork(0.5)
+	if cfg.Workload.InstrsPerWarp != 30 {
+		t.Errorf("scaled instrs = %d, want 30", cfg.Workload.InstrsPerWarp)
+	}
+	if Baseline(quickProfile("LL")).ScaleWork(0.0001).Workload.InstrsPerWarp != 1 {
+		t.Error("scale floor not applied")
+	}
+}
+
+func TestMaxCyclesTimeout(t *testing.T) {
+	cfg := Baseline(quickProfile("HH"))
+	cfg.MaxIcntCycles = 100
+	res := MustRun(cfg)
+	if !res.TimedOut {
+		t.Error("run with tiny cycle cap did not report timeout")
+	}
+}
+
+func TestBalancedDoubleNetworkCompletes(t *testing.T) {
+	p := quickProfile("HH")
+	cfg := Baseline(p).WithCheckerboardRouting().WithBalancedDoubleNetwork()
+	res := MustRun(cfg)
+	if res.TimedOut || res.IPC <= 0 {
+		t.Fatalf("balanced double run failed: %+v", res)
+	}
+	// On reply-dominated memory-bound traffic the balanced slicing should
+	// not be slower than the dedicated split.
+	ded := MustRun(Baseline(p).WithCheckerboardRouting().WithDoubleNetwork())
+	if res.IPC < ded.IPC*0.95 {
+		t.Errorf("balanced double IPC %v well below dedicated %v", res.IPC, ded.IPC)
+	}
+}

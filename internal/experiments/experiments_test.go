@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickSuite runs three benchmarks (one per class) at a small scale; it
+// exercises the full experiment plumbing without the cost of calibration-
+// grade runs.
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := New(Options{Scale: 0.15, Benchmarks: []string{"BIN", "CON", "MUM"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidatesBenchmarks(t *testing.T) {
+	if _, err := New(Options{Benchmarks: []string{"NOPE"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks()) != 31 {
+		t.Errorf("default suite has %d benchmarks, want 31", len(s.Benchmarks()))
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	s := quickSuite(t)
+	r1 := s.Fig11()
+	before := len(s.cache)
+	r2 := s.Fig11()
+	if len(s.cache) != before {
+		t.Error("second Fig11 ran new simulations despite cache")
+	}
+	if r1.Table.String() != r2.Table.String() {
+		t.Error("cached rerun produced different table")
+	}
+}
+
+func TestFig7ReportShape(t *testing.T) {
+	s := quickSuite(t)
+	rep := s.Fig7()
+	out := rep.String()
+	for _, want := range []string{"fig7", "BIN", "CON", "MUM", "paper +36%", "paper +87%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 report missing %q:\n%s", want, out)
+		}
+	}
+	// The memory-bound benchmark must show a larger perfect-net speedup
+	// than the compute-bound one even at reduced scale.
+	lines := strings.Split(out, "\n")
+	var binLine, mumLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "BIN") {
+			binLine = l
+		}
+		if strings.HasPrefix(l, "MUM") {
+			mumLine = l
+		}
+	}
+	if binLine == "" || mumLine == "" {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		speedup, traffic float64
+		want             string
+	}{
+		{1.05, 0.3, "LL"},
+		{1.05, 2.0, "LH"},
+		{1.9, 4.0, "HH"},
+		{1.31, 0.9, "HL"}, // possible in principle; paper observed none
+	}
+	for _, c := range cases {
+		if got := classOf(c.speedup, c.traffic); got != c.want {
+			t.Errorf("classOf(%v,%v) = %s, want %s", c.speedup, c.traffic, got, c.want)
+		}
+	}
+}
+
+func TestPaperClassOf(t *testing.T) {
+	if paperClassOf("MUM") != "HH" || paperClassOf("BIN") != "LL" {
+		t.Error("paper classes wrong")
+	}
+	if paperClassOf("XXX") != "?" {
+		t.Error("unknown abbr should map to ?")
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	s := quickSuite(t)
+	if _, err := s.ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	// Table6 involves no simulation: safe to run fully.
+	rep, err := s.ByID("table6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "Baseline") {
+		t.Error("table6 missing baseline row")
+	}
+	if len(IDs()) != 16 {
+		t.Errorf("IDs() lists %d experiments, want 16", len(IDs()))
+	}
+}
+
+func TestTable6MatchesPaper(t *testing.T) {
+	s := quickSuite(t)
+	rep := s.Table6()
+	out := rep.String()
+	// Spot-check the printed sums against Table VI.
+	for _, want := range []string{"69.0", "576", "59.2", "537.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig11StallsOnMemoryBound(t *testing.T) {
+	s := quickSuite(t)
+	rep := s.Fig11()
+	out := rep.Table.String()
+	// MUM is memory bound: its row must show a nonzero stall percentage.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "MUM") {
+			if strings.Contains(line, " 0.0%") {
+				t.Errorf("MUM shows no MC stall: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatalf("MUM row missing:\n%s", out)
+}
+
+func TestPct(t *testing.T) {
+	if pct(1.17) != "+17.0%" {
+		t.Errorf("pct(1.17) = %s", pct(1.17))
+	}
+	if pct(0.95) != "-5.0%" {
+		t.Errorf("pct(0.95) = %s", pct(0.95))
+	}
+}

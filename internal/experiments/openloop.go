@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// openLoopConfigs returns the five network configurations of Fig 21.
+func openLoopConfigs() []struct {
+	name string
+	cfg  noc.Config
+} {
+	tb := noc.DefaultConfig() // TB-DOR, 2 VCs (request/reply logical networks)
+	tb2x := tb
+	tb2x.FlitBytes = 32
+
+	cp := tb
+	cp.MCs = noc.CheckerboardPlacement(6, 6, 8)
+
+	cpcr := cp
+	cpcr.Checkerboard = true
+	cpcr.Routing = noc.RoutingCheckerboard
+	cpcr.NumVCs = 4
+
+	cpcr2p := cpcr
+	cpcr2p.MCInjPorts = 2
+
+	return []struct {
+		name string
+		cfg  noc.Config
+	}{
+		{"TB-DOR", tb},
+		{"CP-DOR", cp},
+		{"CP-CR", cpcr},
+		{"CP-CR-2P", cpcr2p},
+		{"2x-TB-DOR", tb2x},
+	}
+}
+
+// openLoopRates is the offered-load sweep in flits/cycle/compute-node.
+func openLoopRates() []float64 {
+	return []float64{0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.12}
+}
+
+// Fig21 sweeps offered load for uniform-random and hotspot
+// many-to-few-to-many traffic on the five configurations (paper: CP, CR
+// and especially 2P push out the saturation point; hotspot hurts TB most).
+func (s *Suite) Fig21() *Report {
+	var summary []string
+	tb := stats.NewTable("Fig 21: open-loop latency vs offered load",
+		"pattern", "config", "offered", "accepted", "latency", "saturated")
+	for _, pattern := range []traffic.Pattern{traffic.UniformRandom, traffic.Hotspot} {
+		for _, c := range openLoopConfigs() {
+			runner := traffic.NewMeshRunner(c.cfg)
+			base := traffic.DefaultConfig()
+			base.Pattern = pattern
+			// Keep the sweep cheap in quick mode.
+			if s.opts.Scale < 1 {
+				base.WarmupCycles = 500
+				base.MeasureCycles = 2000
+				base.DrainCycles = 4000
+			}
+			knee := 0.0
+			zeroLoad := 0.0
+			for _, rate := range openLoopRates() {
+				cfg := base
+				cfg.InjectionRate = rate
+				res := runner.Run(cfg)
+				if zeroLoad == 0 {
+					zeroLoad = res.AvgLatency
+				}
+				sat := "no"
+				if res.Saturated {
+					sat = "yes"
+				}
+				// The knee: highest load with latency below 1.5x zero-load
+				// and no saturation.
+				if !res.Saturated && res.AvgLatency < 1.5*zeroLoad {
+					knee = rate
+				}
+				tb.AddRow(pattern.String(), c.name, res.OfferedLoad, res.AcceptedLoad,
+					res.AvgLatency, sat)
+			}
+			summary = append(summary,
+				fmt.Sprintf("%s %s: latency knee at offered load ~%.3f flits/cyc/node",
+					pattern, c.name, knee))
+		}
+	}
+	return &Report{
+		ID:      "fig21",
+		Title:   "Open-loop many-to-few-to-many evaluation",
+		Table:   tb,
+		Summary: summary,
+	}
+}

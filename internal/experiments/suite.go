@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each FigNN/TableNN method returns a Report containing a
+// printable table plus summary lines comparing the paper's headline numbers
+// with the measured ones. Closed-loop runs are memoized, so figures sharing
+// a configuration (e.g. the baseline) reuse each other's simulations.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures a Suite.
+type Options struct {
+	// Scale multiplies kernel length; 1.0 is the calibrated default.
+	// Values below ~0.5 trade accuracy for speed (tests use ~0.2).
+	Scale float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// Benchmarks restricts the suite to the given abbreviations (all 31
+	// when empty).
+	Benchmarks []string
+}
+
+// Report is one regenerated experiment.
+type Report struct {
+	ID      string
+	Title   string
+	Table   *stats.Table
+	Summary []string // "paper ... / measured ..." comparison lines
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "---- %s: %s ----\n", r.ID, r.Title)
+	b.WriteString(r.Table.String())
+	for _, s := range r.Summary {
+		b.WriteString("  " + s + "\n")
+	}
+	return b.String()
+}
+
+// Suite runs and caches the experiments.
+type Suite struct {
+	opts  Options
+	bench []workload.Profile
+	cache map[string]core.Result
+}
+
+// New builds a suite.
+func New(opts Options) (*Suite, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	all := workload.Catalog()
+	var bench []workload.Profile
+	if len(opts.Benchmarks) == 0 {
+		bench = all
+	} else {
+		for _, abbr := range opts.Benchmarks {
+			p, err := workload.ByAbbr(abbr)
+			if err != nil {
+				return nil, err
+			}
+			bench = append(bench, p)
+		}
+	}
+	return &Suite{opts: opts, bench: bench, cache: make(map[string]core.Result)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(opts Options) *Suite {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Benchmarks returns the profiles the suite runs.
+func (s *Suite) Benchmarks() []workload.Profile { return s.bench }
+
+// run executes (or recalls) one closed-loop simulation.
+func (s *Suite) run(cfg core.Config) core.Result {
+	key := cfg.Name + "|" + cfg.Workload.Abbr
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	r := core.MustRun(cfg.ScaleWork(s.opts.Scale))
+	if r.TimedOut {
+		panic(fmt.Sprintf("experiments: %s on %s hit the cycle cap", cfg.Name, cfg.Workload.Abbr))
+	}
+	if s.opts.Progress != nil {
+		fmt.Fprintf(s.opts.Progress, "ran %-16s %-4s IPC=%.1f\n", cfg.Name, cfg.Workload.Abbr, r.IPC)
+	}
+	s.cache[key] = r
+	return r
+}
+
+// speedups computes per-benchmark IPC ratios between two config builders.
+func (s *Suite) speedups(baseCfg, newCfg func(workload.Profile) core.Config) map[string]float64 {
+	out := make(map[string]float64, len(s.bench))
+	for _, p := range s.bench {
+		base := s.run(baseCfg(p))
+		alt := s.run(newCfg(p))
+		out[p.Abbr] = alt.IPC / base.IPC
+	}
+	return out
+}
+
+// hm aggregates a speedup map with the paper's harmonic mean.
+func hm(ratios map[string]float64, only func(abbr string) bool) float64 {
+	var vs []float64
+	for abbr, r := range ratios {
+		if only == nil || only(abbr) {
+			vs = append(vs, r)
+		}
+	}
+	return stats.HarmonicMean(vs)
+}
+
+// orderedAbbrs returns benchmark abbreviations in Table I / Fig 7 order.
+func (s *Suite) orderedAbbrs() []string {
+	out := make([]string, len(s.bench))
+	for i, p := range s.bench {
+		out[i] = p.Abbr
+	}
+	return out
+}
+
+// classOf returns the measured traffic class for a benchmark using the
+// §III-B rule: first letter from the perfect-network speedup (>30% = H),
+// second from accepted traffic under the perfect network (>1 B/cycle/node).
+func classOf(speedup float64, acceptedBytes float64) string {
+	first, second := "L", "L"
+	if speedup > 1.30 {
+		first = "H"
+	}
+	if acceptedBytes > 1.0 {
+		second = "H"
+	}
+	return first + second
+}
+
+// paperClassOf returns the class Table I/Fig 7 assigns.
+func paperClassOf(abbr string) string {
+	p, err := workload.ByAbbr(abbr)
+	if err != nil {
+		return "?"
+	}
+	return p.Class
+}
+
+func isClass(class string) func(string) bool {
+	return func(abbr string) bool { return paperClassOf(abbr) == class }
+}
+
+func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,368 @@
+// Package gpu models the compute nodes of the baseline accelerator (Fig 4):
+// fine-grained multithreaded SIMT cores that issue 32-thread warps over an
+// 8-wide SIMD pipeline, coalesce global memory accesses, and filter them
+// through a write-back write-allocate L1 with MSHRs.
+//
+// The functional front end (instruction fetch/decode of real CUDA kernels)
+// is replaced by a workload.Generator; see the workload package for why
+// this substitution preserves the timing behaviour the NoC study needs.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// Scheduler selects the warp scheduling policy.
+type Scheduler int
+
+// Warp schedulers.
+const (
+	// SchedRR issues round-robin among ready warps (Table II baseline).
+	SchedRR Scheduler = iota
+	// SchedGTO is greedy-then-oldest: keep issuing from the current warp
+	// until it stalls, then fall back to the lowest-numbered ready warp.
+	SchedGTO
+)
+
+// Config sizes one compute core (Table II defaults via DefaultConfig).
+type Config struct {
+	WarpSize     int // scalar threads per warp
+	SIMDWidth    int // lanes; a warp issues over WarpSize/SIMDWidth cycles
+	MSHRs        int
+	MSHRMergeCap int // waiters per MSHR entry (<=0: unlimited)
+	L1           cache.Config
+	OutQueueCap  int // read requests waiting to enter the NoC
+	Scheduler    Scheduler
+}
+
+// DefaultConfig returns the Table II core: 32-thread warps on an 8-wide
+// pipeline, 64 MSHRs and a 16 KB 4-way L1 with 64 B lines.
+func DefaultConfig() Config {
+	return Config{
+		WarpSize:     32,
+		SIMDWidth:    8,
+		MSHRs:        64,
+		MSHRMergeCap: 8,
+		L1:           cache.Config{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 4},
+		OutQueueCap:  16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WarpSize <= 0 || c.SIMDWidth <= 0 || c.WarpSize%c.SIMDWidth != 0 {
+		return fmt.Errorf("gpu: WarpSize must be a positive multiple of SIMDWidth")
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("gpu: MSHRs must be positive")
+	}
+	if c.OutQueueCap <= 0 {
+		return fmt.Errorf("gpu: OutQueueCap must be positive")
+	}
+	return c.L1.Validate()
+}
+
+// MemRequest is a line-sized message from the core to the memory system:
+// a read (miss fetch) or a write (dirty line write-back).
+type MemRequest struct {
+	Line  addr.Address
+	Write bool
+}
+
+// warpState tracks one resident warp.
+type warpState struct {
+	pendingLines []addr.Address // accesses of the current memory instruction not yet issued
+	pendingWrite bool
+	outstanding  int  // line fetches in flight
+	atBarrier    bool // waiting for the rest of its CTA
+	done         bool
+}
+
+func (w *warpState) ready() bool {
+	return !w.done && !w.atBarrier && w.outstanding == 0 && len(w.pendingLines) == 0
+}
+
+// Stats counts core activity.
+type Stats struct {
+	Cycles       uint64
+	WarpInstrs   uint64
+	ScalarInstrs uint64
+	MemInstrs    uint64
+	Barriers     uint64
+	LineAccesses uint64
+	IssueStalls  uint64 // cycles with an issue slot but no ready warp
+	MemStallFull uint64 // memory-unit retries due to MSHR/out-queue pressure
+}
+
+// IPC returns scalar instructions per core cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ScalarInstrs) / float64(s.Cycles)
+}
+
+// Core is one SIMT compute core.
+type Core struct {
+	cfg    Config
+	gen    *workload.Generator
+	warps  []warpState
+	rrNext int
+
+	l1            *cache.Cache
+	mshr          *cache.MSHR
+	pendingStores map[addr.Address]bool // in-flight lines that must fill dirty
+
+	memQ          []memAccess // coalesced accesses awaiting the L1 port
+	outQ          []MemRequest
+	issueCooldown int
+
+	flushed bool
+	stats   Stats
+}
+
+type memAccess struct {
+	warp  int
+	line  addr.Address
+	write bool
+}
+
+// New builds a core running the given generator.
+func New(cfg Config, gen *workload.Generator) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("gpu: generator must not be nil")
+	}
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:           cfg,
+		gen:           gen,
+		warps:         make([]warpState, gen.Profile().Warps),
+		l1:            l1,
+		mshr:          cache.MustNewMSHR(cfg.MSHRs, cfg.MSHRMergeCap),
+		pendingStores: make(map[addr.Address]bool),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, gen *workload.Generator) *Core {
+	c, err := New(cfg, gen)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Tick advances one core clock cycle.
+func (c *Core) Tick() {
+	c.stats.Cycles++
+	c.issue()
+	c.memoryUnit()
+	if !c.flushed && c.gen.AllDone() && c.allWarpsIdle() && len(c.memQ) == 0 {
+		c.flushDirty()
+	}
+}
+
+// issue dispatches at most one warp instruction per WarpSize/SIMDWidth
+// cycles among ready warps, per the configured scheduling policy.
+func (c *Core) issue() {
+	if c.issueCooldown > 0 {
+		c.issueCooldown--
+		return
+	}
+	n := len(c.warps)
+	for k := 0; k < n; k++ {
+		w := c.pickWarp(k, n)
+		ws := &c.warps[w]
+		if !ws.ready() {
+			continue
+		}
+		ins, ok := c.gen.Next(w)
+		if !ok {
+			ws.done = true
+			c.releaseBarrierIfComplete(w)
+			continue
+		}
+		if c.cfg.Scheduler == SchedGTO {
+			c.rrNext = w // stay greedy on the issuing warp
+		} else {
+			c.rrNext = (w + 1) % n
+		}
+		c.issueCooldown = c.cfg.WarpSize/c.cfg.SIMDWidth - 1
+		c.stats.WarpInstrs++
+		c.stats.ScalarInstrs += uint64(ins.ActiveThreads)
+		switch {
+		case ins.Barrier:
+			c.stats.Barriers++
+			ws.atBarrier = true
+			c.releaseBarrierIfComplete(w)
+		case ins.Mem:
+			c.stats.MemInstrs++
+			ws.pendingLines = append(ws.pendingLines[:0], ins.Lines...)
+			ws.pendingWrite = ins.Write
+		}
+		return
+	}
+	c.stats.IssueStalls++
+}
+
+// pickWarp returns the k-th candidate warp for this issue slot: round-robin
+// rotation for SchedRR; for SchedGTO the current warp first, then warps in
+// age (index) order.
+func (c *Core) pickWarp(k, n int) int {
+	if c.cfg.Scheduler == SchedGTO {
+		if k == 0 {
+			return c.rrNext
+		}
+		idx := k - 1
+		if idx >= c.rrNext {
+			idx++ // oldest-first order, skipping the greedy warp tried at k==0
+		}
+		return idx % n
+	}
+	return (c.rrNext + k) % n
+}
+
+// releaseBarrierIfComplete frees warp w's CTA when every member has reached
+// the barrier (finished warps do not hold a barrier hostage).
+func (c *Core) releaseBarrierIfComplete(w int) {
+	prof := c.gen.Profile()
+	if prof.CTAs <= 0 {
+		c.warps[w].atBarrier = false
+		return
+	}
+	size := len(c.warps) / prof.CTAs
+	cta := w / size
+	lo, hi := cta*size, (cta+1)*size
+	for i := lo; i < hi; i++ {
+		if !c.warps[i].atBarrier && !c.warps[i].done {
+			return
+		}
+	}
+	for i := lo; i < hi; i++ {
+		c.warps[i].atBarrier = false
+	}
+}
+
+// memoryUnit services one coalesced line access per cycle through the L1.
+func (c *Core) memoryUnit() {
+	// Move pending accesses of blocked warps into the L1 port queue
+	// (one warp's accesses enqueue as a burst, preserving coalescing).
+	for w := range c.warps {
+		ws := &c.warps[w]
+		for _, line := range ws.pendingLines {
+			c.memQ = append(c.memQ, memAccess{warp: w, line: line, write: ws.pendingWrite})
+			ws.outstanding++
+		}
+		ws.pendingLines = ws.pendingLines[:0]
+	}
+	if len(c.memQ) == 0 {
+		return
+	}
+	acc := c.memQ[0]
+	if !c.tryAccess(acc) {
+		c.stats.MemStallFull++
+		return
+	}
+	c.memQ = c.memQ[:copy(c.memQ, c.memQ[1:])]
+}
+
+// tryAccess performs one L1 access; false means the access must retry
+// (MSHR or outbound queue full).
+func (c *Core) tryAccess(acc memAccess) bool {
+	c.stats.LineAccesses++
+	if c.l1.Access(acc.line, acc.write) {
+		c.warps[acc.warp].outstanding--
+		return true
+	}
+	// Miss: merge onto an in-flight fetch or start a new one.
+	if c.mshr.Pending(acc.line) {
+		if c.mshr.Allocate(acc.line, cache.Waiter(acc.warp)) == cache.AllocStallFull {
+			c.stats.LineAccesses--
+			return false
+		}
+	} else {
+		if c.mshr.Full() || len(c.outQ) >= c.cfg.OutQueueCap {
+			c.stats.LineAccesses--
+			return false
+		}
+		c.mshr.Allocate(acc.line, cache.Waiter(acc.warp))
+		c.outQ = append(c.outQ, MemRequest{Line: acc.line})
+	}
+	if acc.write {
+		c.pendingStores[acc.line] = true
+	}
+	return true
+}
+
+// DeliverFill completes an in-flight line fetch (a read reply arrived).
+func (c *Core) DeliverFill(line addr.Address) {
+	victim, wb := c.l1.Fill(line, c.pendingStores[line])
+	delete(c.pendingStores, line)
+	if wb {
+		// Write-backs bypass the read-request cap: they carry the line out.
+		c.outQ = append(c.outQ, MemRequest{Line: victim, Write: true})
+	}
+	for _, w := range c.mshr.Fill(line) {
+		c.warps[w].outstanding--
+	}
+}
+
+// PopRequest removes the next outbound memory request, if any.
+func (c *Core) PopRequest() (MemRequest, bool) {
+	if len(c.outQ) == 0 {
+		return MemRequest{}, false
+	}
+	req := c.outQ[0]
+	c.outQ = c.outQ[:copy(c.outQ, c.outQ[1:])]
+	return req, true
+}
+
+// PeekRequest returns the next outbound request without removing it.
+func (c *Core) PeekRequest() (MemRequest, bool) {
+	if len(c.outQ) == 0 {
+		return MemRequest{}, false
+	}
+	return c.outQ[0], true
+}
+
+func (c *Core) allWarpsIdle() bool {
+	for i := range c.warps {
+		ws := &c.warps[i]
+		if ws.outstanding > 0 || len(ws.pendingLines) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flushDirty writes back all dirty L1 lines at kernel end (the baseline's
+// software-managed coherence flush, §II).
+func (c *Core) flushDirty() {
+	for _, line := range c.l1.FlushDirty() {
+		c.outQ = append(c.outQ, MemRequest{Line: line, Write: true})
+	}
+	c.flushed = true
+}
+
+// Done reports whether the kernel finished: all instructions issued, all
+// fetches returned, the end-of-kernel flush emitted, and nothing queued.
+func (c *Core) Done() bool {
+	return c.gen.AllDone() && c.allWarpsIdle() && len(c.memQ) == 0 &&
+		c.flushed && len(c.outQ) == 0 && c.mshr.InFlight() == 0
+}
+
+// Stats returns the activity counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// L1Stats exposes the L1 cache counters.
+func (c *Core) L1Stats() cache.Stats { return c.l1.Stats() }

@@ -1,0 +1,263 @@
+// Package mem implements the memory-controller nodes of the baseline
+// architecture (Fig 5): each MC tile ejects request packets from the NoC,
+// services them in a shared L2 bank, schedules misses into a GDDR3 channel
+// (FR-FCFS), and injects 64-byte read-reply packets back into the network.
+//
+// The reply-injection path is the bottleneck the paper's Fig 11 measures:
+// a memory controller is "stalled" in a cycle when it holds a ready reply
+// that the reply network refuses to accept.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/noc"
+)
+
+// Request is the payload of a memory request packet (stored in Packet.Meta).
+type Request struct {
+	Line  addr.Address
+	Write bool
+}
+
+// ReplyBytes is the size of a read-reply packet (§III-D).
+const ReplyBytes = 64
+
+// ReadRequestBytes and WriteRequestBytes are the request packet sizes.
+const (
+	ReadRequestBytes  = 8
+	WriteRequestBytes = 64
+)
+
+// Config parameterizes an MC node.
+type Config struct {
+	L2        cache.Config
+	L2Latency uint64 // L2 hit latency in interconnect cycles
+	L2MSHRs   int
+	DRAM      dram.Config
+}
+
+// DefaultConfig returns the Table II memory node: a 128 KB 8-way L2 bank
+// and the paper's GDDR3 timing.
+func DefaultConfig() Config {
+	return Config{
+		L2:        cache.Config{SizeBytes: 128 * 1024, LineBytes: 64, Ways: 8},
+		L2Latency: 16,
+		L2MSHRs:   64,
+		DRAM:      dram.DefaultConfig(),
+	}
+}
+
+// Stats aggregates MC activity.
+type Stats struct {
+	Requests        uint64
+	Writes          uint64
+	RepliesInjected uint64
+	StallCycles     uint64 // cycles a ready reply was refused by the network
+	Cycles          uint64 // interconnect cycles observed
+	ActiveCycles    uint64 // cycles with any work present
+}
+
+// StallFraction returns stalled cycles over all cycles (Fig 11's metric).
+func (s Stats) StallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.StallCycles) / float64(s.Cycles)
+}
+
+type timedReply struct {
+	due       uint64
+	line      addr.Address
+	requester noc.NodeID
+}
+
+// MCNode is one memory-controller tile.
+type MCNode struct {
+	cfg    Config
+	node   noc.NodeID
+	l2     *cache.Cache
+	l2mshr *cache.MSHR
+	ctl    *dram.Controller
+
+	inQ    []*noc.Packet
+	hitQ   []timedReply // L2 hits waiting out the bank latency
+	replyQ []timedReply // ready to inject
+	writeQ []addr.Address
+
+	stats Stats
+}
+
+// New builds an MC node at the given mesh tile.
+func New(cfg Config, node noc.NodeID, mapper *addr.Mapper) (*MCNode, error) {
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.L2MSHRs <= 0 {
+		return nil, fmt.Errorf("mem: L2MSHRs must be positive")
+	}
+	ctl, err := dram.NewController(cfg.DRAM, mapper)
+	if err != nil {
+		return nil, err
+	}
+	return &MCNode{
+		cfg:    cfg,
+		node:   node,
+		l2:     l2,
+		l2mshr: cache.MustNewMSHR(cfg.L2MSHRs, 0),
+		ctl:    ctl,
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, node noc.NodeID, mapper *addr.Mapper) *MCNode {
+	m, err := New(cfg, node, mapper)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Node returns the MC's mesh tile.
+func (m *MCNode) Node() noc.NodeID { return m.node }
+
+// AcceptRequest takes ownership of an ejected request packet.
+func (m *MCNode) AcceptRequest(pkt *noc.Packet) {
+	if _, ok := pkt.Meta.(Request); !ok {
+		panic(fmt.Sprintf("mem: packet %d has no Request payload", pkt.ID))
+	}
+	m.inQ = append(m.inQ, pkt)
+}
+
+// TickIcnt advances the MC by one interconnect cycle: one L2 bank access,
+// hit-latency progression, and reply injection into net.
+func (m *MCNode) TickIcnt(cycle uint64, net noc.Network) {
+	m.stats.Cycles++
+	if m.Busy() {
+		m.stats.ActiveCycles++
+	}
+	m.serviceOne(cycle)
+	m.promoteHits(cycle)
+	m.injectReplies(cycle, net)
+}
+
+// serviceOne processes the oldest ejected request through the L2 bank.
+func (m *MCNode) serviceOne(cycle uint64) {
+	if len(m.inQ) == 0 {
+		return
+	}
+	pkt := m.inQ[0]
+	req := pkt.Meta.(Request)
+	if req.Write {
+		m.stats.Writes++
+		// Write-backs carry a full line: write-validate without fetching.
+		if !m.l2.Access(req.Line, true) {
+			if victim, wb := m.l2.Fill(req.Line, true); wb {
+				m.writeQ = append(m.writeQ, victim)
+			}
+		}
+		m.popInQ()
+		return
+	}
+	m.stats.Requests++
+	if m.l2.Access(req.Line, false) {
+		m.hitQ = append(m.hitQ, timedReply{due: cycle + m.cfg.L2Latency, line: req.Line, requester: pkt.Src})
+		m.popInQ()
+		return
+	}
+	// L2 miss: merge or fetch from DRAM.
+	if m.l2mshr.Pending(req.Line) {
+		if m.l2mshr.Allocate(req.Line, cache.Waiter(pkt.Src)) == cache.AllocStallFull {
+			m.stats.Requests--
+			return // retry next cycle
+		}
+	} else {
+		if m.l2mshr.Full() || !m.ctl.CanAccept() {
+			m.stats.Requests--
+			return // retry next cycle
+		}
+		m.l2mshr.Allocate(req.Line, cache.Waiter(pkt.Src))
+		m.ctl.Enqueue(dram.Request{Addr: req.Line, Meta: req.Line})
+	}
+	m.popInQ()
+}
+
+func (m *MCNode) popInQ() {
+	m.inQ = m.inQ[:copy(m.inQ, m.inQ[1:])]
+}
+
+// promoteHits moves matured L2 hits into the reply queue.
+func (m *MCNode) promoteHits(cycle uint64) {
+	n := 0
+	for _, h := range m.hitQ {
+		if h.due <= cycle {
+			m.replyQ = append(m.replyQ, h)
+			n++
+		} else {
+			break
+		}
+	}
+	if n > 0 {
+		m.hitQ = m.hitQ[:copy(m.hitQ, m.hitQ[n:])]
+	}
+}
+
+// injectReplies pushes ready replies into the network until it refuses.
+func (m *MCNode) injectReplies(cycle uint64, net noc.Network) {
+	for len(m.replyQ) > 0 {
+		r := m.replyQ[0]
+		pkt := &noc.Packet{
+			Src:   m.node,
+			Dst:   r.requester,
+			Class: noc.ClassReply,
+			Bytes: ReplyBytes,
+			Meta:  r.line,
+		}
+		if !net.TryInject(pkt) {
+			m.stats.StallCycles++
+			return
+		}
+		m.stats.RepliesInjected++
+		m.replyQ = m.replyQ[:copy(m.replyQ, m.replyQ[1:])]
+	}
+}
+
+// TickDRAM advances the GDDR3 channel one DRAM clock: completed reads fill
+// the L2 and produce replies; pending write-backs drain into the channel.
+func (m *MCNode) TickDRAM() {
+	for len(m.writeQ) > 0 && m.ctl.CanAccept() {
+		m.ctl.Enqueue(dram.Request{Addr: m.writeQ[0], IsWrite: true})
+		m.writeQ = m.writeQ[:copy(m.writeQ, m.writeQ[1:])]
+	}
+	for _, done := range m.ctl.Tick() {
+		if done.IsWrite {
+			continue
+		}
+		line := done.Meta.(addr.Address)
+		if victim, wb := m.l2.Fill(line, false); wb {
+			m.writeQ = append(m.writeQ, victim)
+		}
+		for _, w := range m.l2mshr.Fill(line) {
+			m.replyQ = append(m.replyQ, timedReply{line: line, requester: noc.NodeID(w)})
+		}
+	}
+}
+
+// Busy reports whether the MC holds or awaits any work.
+func (m *MCNode) Busy() bool {
+	return len(m.inQ) > 0 || len(m.hitQ) > 0 || len(m.replyQ) > 0 ||
+		len(m.writeQ) > 0 || m.ctl.Busy() || m.l2mshr.InFlight() > 0
+}
+
+// Stats returns the MC counters.
+func (m *MCNode) Stats() Stats { return m.stats }
+
+// L2Stats exposes the L2 bank's cache counters.
+func (m *MCNode) L2Stats() cache.Stats { return m.l2.Stats() }
+
+// DRAMStats exposes the memory channel's counters.
+func (m *MCNode) DRAMStats() dram.Stats { return m.ctl.Stats() }

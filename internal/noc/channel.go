@@ -1,0 +1,70 @@
+package noc
+
+// flitEvent is a flit in flight on a channel, delivered when due <= cycle.
+type flitEvent struct {
+	flit Flit
+	due  uint64
+}
+
+// channel is a unidirectional link between two routers (or from a router to
+// its local ejection queue). Flits arrive after the link latency.
+type channel struct {
+	dst     *router
+	dstPort int // input port index at dst
+	q       []flitEvent
+}
+
+func (c *channel) send(f Flit, due uint64) {
+	c.q = append(c.q, flitEvent{flit: f, due: due})
+}
+
+// deliver moves all arrived flits into the destination input buffers.
+// Flits are queued in send order and due values are monotonic per channel,
+// so delivery preserves order.
+func (c *channel) deliver(cycle uint64) {
+	n := 0
+	for _, ev := range c.q {
+		if ev.due <= cycle {
+			c.dst.acceptFlit(c.dstPort, ev.flit, cycle)
+			n++
+		} else {
+			break
+		}
+	}
+	if n > 0 {
+		c.q = c.q[:copy(c.q, c.q[n:])]
+	}
+}
+
+// creditEvent returns one buffer slot to the upstream router's output unit.
+type creditEvent struct {
+	vc  int
+	due uint64
+}
+
+// creditChannel carries credits back along a link: dst is the upstream
+// router and dstPort its output port feeding the link.
+type creditChannel struct {
+	dst     *router
+	dstPort int
+	q       []creditEvent
+}
+
+func (c *creditChannel) send(vc int, due uint64) {
+	c.q = append(c.q, creditEvent{vc: vc, due: due})
+}
+
+func (c *creditChannel) deliver(cycle uint64) {
+	n := 0
+	for _, ev := range c.q {
+		if ev.due <= cycle {
+			c.dst.acceptCredit(c.dstPort, ev.vc)
+			n++
+		} else {
+			break
+		}
+	}
+	if n > 0 {
+		c.q = c.q[:copy(c.q, c.q[n:])]
+	}
+}

@@ -1,0 +1,147 @@
+package noc
+
+import "fmt"
+
+// Double is the channel-sliced network of §IV-C: two physical mesh networks
+// at half channel width. In the paper's dedicated form one slice carries
+// request traffic and the other replies, which needs no protocol-deadlock
+// VCs; the alternative §IV-C mentions is a load-balanced pair where both
+// slices carry both classes (each slice then splits its VCs by class).
+// Either way, the quadratic dependence of crossbar area on channel width
+// makes the pair cheaper than one full-width network (Table VI).
+type Double struct {
+	nets     [2]*Mesh
+	balanced bool
+	rr       []uint8 // per-source slice rotation (balanced mode)
+}
+
+// NewDouble builds the paper's dedicated pair from cfg. cfg describes the
+// equivalent single network: each slice gets cfg.FlitBytes/2-byte channels
+// and all of its VCs for a single traffic class (cfg.SplitClasses is
+// ignored).
+func NewDouble(cfg Config) (*Double, error) {
+	return newDouble(cfg, false)
+}
+
+// NewDoubleBalanced builds the load-balanced alternative: both slices carry
+// both classes (so each slice keeps class-split VCs against protocol
+// deadlock) and every source spreads its packets across the slices
+// round-robin.
+func NewDoubleBalanced(cfg Config) (*Double, error) {
+	return newDouble(cfg, true)
+}
+
+func newDouble(cfg Config, balanced bool) (*Double, error) {
+	if cfg.FlitBytes%2 != 0 {
+		return nil, fmt.Errorf("noc: cannot slice odd channel width %d", cfg.FlitBytes)
+	}
+	d := &Double{balanced: balanced}
+	for c := 0; c < 2; c++ {
+		sub := cfg
+		sub.FlitBytes = cfg.FlitBytes / 2
+		sub.SplitClasses = balanced
+		sub.Seed = cfg.Seed + uint64(c)
+		m, err := NewMesh(sub)
+		if err != nil {
+			return nil, err
+		}
+		d.nets[c] = m
+	}
+	if balanced {
+		d.rr = make([]uint8, cfg.Width*cfg.Height)
+	}
+	return d, nil
+}
+
+// MustNewDouble is NewDouble but panics on error.
+func MustNewDouble(cfg Config) *Double {
+	d, err := NewDouble(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustNewDoubleBalanced is NewDoubleBalanced but panics on error.
+func MustNewDoubleBalanced(cfg Config) *Double {
+	d, err := NewDoubleBalanced(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Subnet returns the physical network carrying class c.
+func (d *Double) Subnet(c TrafficClass) *Mesh { return d.nets[c] }
+
+// CanInject checks whether some slice can take a packet of class at n.
+func (d *Double) CanInject(n NodeID, class TrafficClass) bool {
+	if !d.balanced {
+		return d.nets[class].CanInject(n, class)
+	}
+	return d.nets[0].CanInject(n, class) || d.nets[1].CanInject(n, class)
+}
+
+// TryInject routes p to its class's slice (dedicated) or to the source's
+// next slice in rotation (balanced), falling back to the other slice when
+// the preferred one is full.
+func (d *Double) TryInject(p *Packet) bool {
+	if !d.balanced {
+		return d.nets[p.Class].TryInject(p)
+	}
+	first := int(d.rr[p.Src]) % 2
+	d.rr[p.Src]++
+	if d.nets[first].TryInject(p) {
+		return true
+	}
+	return d.nets[1-first].TryInject(p)
+}
+
+// Tick advances both slices.
+func (d *Double) Tick() {
+	for _, n := range d.nets {
+		n.Tick()
+	}
+}
+
+// Delivered merges deliveries from both slices.
+func (d *Double) Delivered(node NodeID) []*Packet {
+	out := d.nets[0].Delivered(node)
+	if more := d.nets[1].Delivered(node); len(more) > 0 {
+		out = append(out, more...)
+	}
+	return out
+}
+
+// Cycle returns elapsed cycles (slices tick in lockstep).
+func (d *Double) Cycle() uint64 { return d.nets[0].Cycle() }
+
+// Quiet reports whether both slices are empty.
+func (d *Double) Quiet() bool { return d.nets[0].Quiet() && d.nets[1].Quiet() }
+
+// Stats merges both slices' counters into a fresh snapshot.
+func (d *Double) Stats() *NetStats {
+	a, b := d.nets[0].Stats(), d.nets[1].Stats()
+	merged := &NetStats{
+		Cycles:   a.Cycles,
+		FlitHops: a.FlitHops + b.FlitHops,
+	}
+	merged.InjectedFlits = addSlices(a.InjectedFlits, b.InjectedFlits)
+	merged.InjectedPackets = addSlices(a.InjectedPackets, b.InjectedPackets)
+	merged.InjectedBytes = addSlices(a.InjectedBytes, b.InjectedBytes)
+	merged.EjectedFlits = addSlices(a.EjectedFlits, b.EjectedFlits)
+	merged.NetLatency = a.NetLatency.Merge(b.NetLatency)
+	merged.TotalLatency = a.TotalLatency.Merge(b.TotalLatency)
+	for c := range merged.LatencyByClass {
+		merged.LatencyByClass[c] = a.LatencyByClass[c].Merge(b.LatencyByClass[c])
+	}
+	return merged
+}
+
+func addSlices(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

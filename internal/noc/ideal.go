@@ -1,0 +1,119 @@
+package noc
+
+import "fmt"
+
+// Ideal is a zero-latency network with an optional aggregate bandwidth cap,
+// used for the paper's limit studies: Fig 6 sweeps the cap (in flits per
+// interconnect cycle across the whole chip), and the "perfect network" of
+// Fig 7 is the uncapped case. Once accepted, a packet is delivered to its
+// destination in the same cycle; acceptance consumes budget equal to the
+// packet's flit count, and multiple sources and destinations may transfer
+// in one cycle.
+type Ideal struct {
+	numNodes  int
+	flitBytes int
+	cap       float64 // flits/cycle accepted; <= 0 means infinite
+	budget    float64
+	pending   []*Packet
+	delivered [][]*Packet
+	cycle     uint64
+	active    int
+	nextPkt   uint64
+	stats     NetStats
+}
+
+// NewIdeal builds an ideal network over numNodes nodes. flitsPerCycleCap
+// <= 0 gives the perfect (infinite-bandwidth) network.
+func NewIdeal(numNodes, flitBytes int, flitsPerCycleCap float64) (*Ideal, error) {
+	if numNodes <= 0 || flitBytes <= 0 {
+		return nil, fmt.Errorf("noc: ideal network needs positive node count and flit size")
+	}
+	n := &Ideal{numNodes: numNodes, flitBytes: flitBytes, cap: flitsPerCycleCap}
+	n.delivered = make([][]*Packet, numNodes)
+	n.stats.InjectedFlits = make([]uint64, numNodes)
+	n.stats.InjectedPackets = make([]uint64, numNodes)
+	n.stats.InjectedBytes = make([]uint64, numNodes)
+	n.stats.EjectedFlits = make([]uint64, numNodes)
+	return n, nil
+}
+
+// MustNewIdeal is NewIdeal but panics on error.
+func MustNewIdeal(numNodes, flitBytes int, cap float64) *Ideal {
+	n, err := NewIdeal(numNodes, flitBytes, cap)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CanInject always reports true: the ideal network has unbounded source
+// queues; the bandwidth cap delays rather than refuses packets.
+func (n *Ideal) CanInject(NodeID, TrafficClass) bool { return true }
+
+// TryInject accepts p unconditionally.
+func (n *Ideal) TryInject(p *Packet) bool {
+	if p.Src < 0 || int(p.Src) >= n.numNodes || p.Dst < 0 || int(p.Dst) >= n.numNodes {
+		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst))
+	}
+	p.ID = n.nextPkt
+	n.nextPkt++
+	p.OfferedAt = n.cycle
+	n.pending = append(n.pending, p)
+	n.active++
+	return true
+}
+
+// Tick delivers queued packets in arrival order until the cycle's flit
+// budget is spent. The budget may go negative on the last packet (large
+// packets are not starved by small budgets); the deficit carries over.
+func (n *Ideal) Tick() {
+	n.cycle++
+	n.stats.Cycles++
+	if n.cap > 0 {
+		n.budget += n.cap
+		if n.budget > n.cap {
+			// Idle cycles do not bank unlimited credit.
+			n.budget = n.cap
+		}
+	}
+	i := 0
+	for ; i < len(n.pending); i++ {
+		if n.cap > 0 && n.budget <= 0 {
+			break
+		}
+		p := n.pending[i]
+		flits := flitCount(p.Bytes, n.flitBytes)
+		p.flits = flits
+		if n.cap > 0 {
+			n.budget -= float64(flits)
+		}
+		p.InjectedAt = n.cycle
+		p.ArrivedAt = n.cycle
+		n.delivered[p.Dst] = append(n.delivered[p.Dst], p)
+		n.stats.InjectedFlits[p.Src] += uint64(flits)
+		n.stats.InjectedPackets[p.Src]++
+		n.stats.InjectedBytes[p.Src] += uint64(p.Bytes)
+		n.stats.EjectedFlits[p.Dst] += uint64(flits)
+		n.stats.NetLatency.Add(0)
+		n.stats.TotalLatency.Add(float64(p.ArrivedAt - p.OfferedAt))
+		n.stats.LatencyByClass[p.Class].Add(0)
+		n.active--
+	}
+	n.pending = n.pending[:copy(n.pending, n.pending[i:])]
+}
+
+// Delivered returns and clears packets delivered at node.
+func (n *Ideal) Delivered(node NodeID) []*Packet {
+	out := n.delivered[node]
+	n.delivered[node] = nil
+	return out
+}
+
+// Cycle returns elapsed cycles.
+func (n *Ideal) Cycle() uint64 { return n.cycle }
+
+// Quiet reports whether no packets are pending.
+func (n *Ideal) Quiet() bool { return n.active == 0 }
+
+// Stats returns the counters.
+func (n *Ideal) Stats() *NetStats { return &n.stats }

@@ -1,0 +1,129 @@
+package noc
+
+// injWriter streams one packet's flits into an injection buffer VC.
+type injWriter struct {
+	flits []Flit
+	next  int
+	vc    int
+}
+
+// netIface is the per-node network interface: bounded source queues feeding
+// the router's injection port(s), and packet reassembly on the ejection
+// side. Each injection port writes at most one flit per cycle, so a 2-port
+// MC router has twice the terminal injection bandwidth (§IV-D).
+type netIface struct {
+	node      NodeID
+	rtr       *router
+	net       *meshNet
+	srcQ      [NumClasses][]*Packet
+	writers   [][]*injWriter // [injPort][vc]
+	classRR   int
+	asm       map[uint64]int
+	delivered []*Packet
+}
+
+func newNetIface(node NodeID, rtr *router, net *meshNet) *netIface {
+	ni := &netIface{node: node, rtr: rtr, net: net, asm: make(map[uint64]int)}
+	ni.writers = make([][]*injWriter, rtr.p.nInj)
+	for p := range ni.writers {
+		ni.writers[p] = make([]*injWriter, rtr.p.numVCs)
+	}
+	return ni
+}
+
+// injectStep advances injection by up to one flit per port.
+func (ni *netIface) injectStep(cycle uint64) {
+	for port := range ni.writers {
+		if ni.continueWrite(port, cycle) {
+			continue
+		}
+		ni.startWrite(port, cycle)
+	}
+}
+
+// continueWrite pushes the next flit of an in-progress packet on port,
+// returning whether a flit was written.
+func (ni *netIface) continueWrite(port int, cycle uint64) bool {
+	for v, w := range ni.writers[port] {
+		if w == nil {
+			continue
+		}
+		if ni.rtr.injSpace(port, v) == 0 {
+			continue
+		}
+		ni.writeFlit(port, w, cycle)
+		return true
+	}
+	return false
+}
+
+// startWrite begins injecting the next queued packet on port, if any class
+// has a packet whose VC set offers a free writer slot with buffer space.
+func (ni *netIface) startWrite(port int, cycle uint64) {
+	for k := 0; k < int(NumClasses); k++ {
+		class := TrafficClass((ni.classRR + k) % int(NumClasses))
+		q := ni.srcQ[class]
+		if len(q) == 0 {
+			continue
+		}
+		pkt := q[0]
+		vc := ni.pickInjVC(port, pkt)
+		if vc < 0 {
+			continue
+		}
+		ni.srcQ[class] = q[1:]
+		ni.classRR = (int(class) + 1) % int(NumClasses)
+		pkt.InjectedAt = cycle
+		ni.net.stats.InjectedPackets[ni.node]++
+		ni.net.stats.InjectedBytes[ni.node] += uint64(pkt.Bytes)
+		w := &injWriter{flits: makeFlits(pkt, ni.net.cfg.FlitBytes), vc: vc}
+		ni.writers[port][vc] = w
+		ni.writeFlit(port, w, cycle)
+		return
+	}
+}
+
+// pickInjVC returns a VC from the packet's allowed set with no in-progress
+// writer on this port and at least one free buffer slot, or -1.
+func (ni *netIface) pickInjVC(port int, pkt *Packet) int {
+	for _, v := range ni.net.vcs.allowed(pkt.Class, pkt.YXPhase) {
+		if ni.writers[port][v] == nil && ni.rtr.injSpace(port, v) > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
+	f := w.flits[w.next]
+	f.VC = w.vc
+	ni.rtr.injectFlit(port, f, cycle)
+	w.next++
+	ni.net.stats.InjectedFlits[ni.node]++
+	if w.next == len(w.flits) {
+		ni.writers[port][w.vc] = nil
+	}
+}
+
+// ejectStep drains arrived flits and assembles packets. Flits of one packet
+// arrive in order, but packets on different VCs may interleave, so assembly
+// counts flits per packet ID.
+func (ni *netIface) ejectStep(cycle uint64) {
+	ni.rtr.drainEjected(cycle, func(f Flit) {
+		ni.net.stats.EjectedFlits[ni.node]++
+		pkt := f.Pkt
+		got := ni.asm[pkt.ID] + 1
+		if got < pkt.flits {
+			ni.asm[pkt.ID] = got
+			return
+		}
+		delete(ni.asm, pkt.ID)
+		pkt.ArrivedAt = cycle
+		ni.delivered = append(ni.delivered, pkt)
+		ni.net.active--
+		st := &ni.net.stats
+		st.NetLatency.Add(float64(pkt.NetworkLatency()))
+		st.TotalLatency.Add(float64(pkt.TotalLatency()))
+		st.LatencyByClass[pkt.Class].Add(float64(pkt.NetworkLatency()))
+	})
+}

@@ -1,0 +1,351 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Network is the closed-loop simulator's view of an interconnect: offer
+// packets, advance cycles, and collect delivered packets per node. Mesh,
+// DoubleMesh and Ideal all implement it.
+type Network interface {
+	// TryInject offers a packet at its source node. It returns false when
+	// the source queue for the packet's class is full (the caller stalls).
+	TryInject(p *Packet) bool
+	// CanInject reports whether a packet of the given class would be
+	// accepted at node n this cycle.
+	CanInject(n NodeID, class TrafficClass) bool
+	// Tick advances the network one interconnect cycle.
+	Tick()
+	// Delivered returns (and clears) the packets fully ejected at node n.
+	Delivered(n NodeID) []*Packet
+	// Cycle returns the elapsed interconnect cycles.
+	Cycle() uint64
+	// Quiet reports whether no packets are queued or in flight.
+	Quiet() bool
+	// Stats exposes aggregate counters.
+	Stats() *NetStats
+}
+
+// NetStats aggregates network activity.
+type NetStats struct {
+	Cycles          uint64
+	FlitHops        uint64 // switch traversals, network-wide
+	InjectedFlits   []uint64
+	InjectedPackets []uint64
+	InjectedBytes   []uint64 // packet payload bytes offered per source node
+	EjectedFlits    []uint64
+	NetLatency      stats.Mean // head injection -> tail ejection
+	TotalLatency    stats.Mean // includes source queueing
+	LatencyByClass  [NumClasses]stats.Mean
+}
+
+// InjectionRate returns node n's injection rate in flits/cycle.
+func (s *NetStats) InjectionRate(n NodeID) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.InjectedFlits[n]) / float64(s.Cycles)
+}
+
+// AcceptedFlitsPerCycle returns network-wide accepted traffic averaged over
+// all nodes, in flits/cycle/node.
+func (s *NetStats) AcceptedFlitsPerCycle() float64 {
+	if s.Cycles == 0 || len(s.InjectedFlits) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, f := range s.InjectedFlits {
+		total += f
+	}
+	return float64(total) / float64(s.Cycles) / float64(len(s.InjectedFlits))
+}
+
+// AcceptedBytesPerCycle returns accepted traffic averaged over all nodes,
+// in payload bytes/cycle/node (the §III-B classification metric).
+func (s *NetStats) AcceptedBytesPerCycle() float64 {
+	if s.Cycles == 0 || len(s.InjectedBytes) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, b := range s.InjectedBytes {
+		total += b
+	}
+	return float64(total) / float64(s.Cycles) / float64(len(s.InjectedBytes))
+}
+
+// Config parameterizes a mesh network (defaults are Table III).
+type Config struct {
+	Width, Height    int
+	FlitBytes        int
+	NumVCs           int
+	BufDepth         int         // flits per VC
+	RouterStages     int         // full-router pipeline depth
+	HalfRouterStages int         // half-router pipeline depth
+	ChannelLatency   uint64      // cycles
+	CreditLatency    uint64      // cycles
+	Checkerboard     bool        // half-routers at odd-parity tiles
+	Routing          RoutingAlgo // DOR or checkerboard routing
+	SplitClasses     bool        // reserve disjoint VCs for request/reply
+	MCs              []NodeID    // memory-controller tiles
+	MCInjPorts       int         // injection ports at MC routers (2P: 2)
+	MCEjPorts        int         // ejection ports at MC routers
+	SrcQueueCap      int         // source queue capacity per class, packets
+	EjQueueCap       int         // ejection queue capacity, flits
+	Seed             uint64
+}
+
+// DefaultConfig returns the paper's baseline mesh (Tables II/III): 6×6,
+// 16-byte channels, 2 VCs × 8-flit buffers, 4-stage routers, 1-cycle
+// channels, DOR, MCs on the top and bottom rows.
+func DefaultConfig() Config {
+	return Config{
+		Width: 6, Height: 6,
+		FlitBytes:        16,
+		NumVCs:           2,
+		BufDepth:         8,
+		RouterStages:     4,
+		HalfRouterStages: 3,
+		ChannelLatency:   1,
+		CreditLatency:    1,
+		Checkerboard:     false,
+		Routing:          RoutingDOR,
+		SplitClasses:     true,
+		MCs:              TopBottomPlacement(6, 6, 8),
+		MCInjPorts:       1,
+		MCEjPorts:        1,
+		SrcQueueCap:      8,
+		EjQueueCap:       8,
+		Seed:             1,
+	}
+}
+
+// vcPlan maps (traffic class, routing phase) to the allowed output VCs.
+type vcPlan struct {
+	sets [NumClasses][2][]int
+}
+
+func buildVCPlan(numVCs int, split bool, algo RoutingAlgo) (vcPlan, error) {
+	div := 1
+	if split {
+		div *= 2
+	}
+	if algo != RoutingDOR {
+		div *= 2 // two-phase algorithms need XY and YX VC classes
+	}
+	if numVCs < div || numVCs%div != 0 {
+		return vcPlan{}, fmt.Errorf("noc: %d VCs not divisible across %d class/phase sets", numVCs, div)
+	}
+	per := numVCs / div
+	var p vcPlan
+	for class := 0; class < int(NumClasses); class++ {
+		for phase := 0; phase < 2; phase++ {
+			base := 0
+			if split {
+				base += class * (numVCs / 2)
+			}
+			if algo != RoutingDOR {
+				base += phase * per
+			}
+			set := make([]int, per)
+			for i := range set {
+				set[i] = base + i
+			}
+			p.sets[class][phase] = set
+		}
+	}
+	return p, nil
+}
+
+func (p *vcPlan) allowed(class TrafficClass, yxPhase bool) []int {
+	phase := 0
+	if yxPhase {
+		phase = 1
+	}
+	return p.sets[class][phase]
+}
+
+// Mesh is the cycle-level 2D-mesh network.
+type Mesh struct{ meshNet }
+
+type meshNet struct {
+	cfg       Config
+	topo      *Topology
+	vcs       vcPlan
+	routers   []*router
+	nis       []*netIface
+	flitChans []*channel
+	credChans []*creditChannel
+	cycle     uint64
+	rng       *xrand.Rand
+	stats     NetStats
+	active    int
+	nextPkt   uint64
+}
+
+// NewMesh validates cfg and builds the network.
+func NewMesh(cfg Config) (*Mesh, error) {
+	if cfg.FlitBytes <= 0 || cfg.BufDepth <= 0 || cfg.NumVCs <= 0 {
+		return nil, fmt.Errorf("noc: FlitBytes, BufDepth and NumVCs must be positive")
+	}
+	if cfg.RouterStages <= 0 || cfg.HalfRouterStages <= 0 {
+		return nil, fmt.Errorf("noc: router stages must be positive")
+	}
+	if cfg.MCInjPorts <= 0 || cfg.MCEjPorts <= 0 {
+		return nil, fmt.Errorf("noc: MC port counts must be positive")
+	}
+	if cfg.SrcQueueCap <= 0 || cfg.EjQueueCap <= 0 {
+		return nil, fmt.Errorf("noc: queue capacities must be positive")
+	}
+	if cfg.Routing == RoutingCheckerboard && !cfg.Checkerboard {
+		return nil, fmt.Errorf("noc: checkerboard routing requires a checkerboard mesh")
+	}
+	if cfg.Routing == RoutingROMM && cfg.Checkerboard {
+		return nil, fmt.Errorf("noc: ROMM turns anywhere and needs full routers")
+	}
+	topo, err := NewTopology(cfg.Width, cfg.Height, cfg.Checkerboard, cfg.MCs)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildVCPlan(cfg.NumVCs, cfg.SplitClasses, cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{meshNet{cfg: cfg, topo: topo, vcs: plan, rng: xrand.New(cfg.Seed)}}
+	n := &m.meshNet
+	nNodes := topo.NumNodes()
+	n.stats.InjectedFlits = make([]uint64, nNodes)
+	n.stats.InjectedPackets = make([]uint64, nNodes)
+	n.stats.InjectedBytes = make([]uint64, nNodes)
+	n.stats.EjectedFlits = make([]uint64, nNodes)
+
+	for id := 0; id < nNodes; id++ {
+		node := NodeID(id)
+		p := routerParams{
+			node:     node,
+			half:     topo.IsHalf(node),
+			numVCs:   cfg.NumVCs,
+			bufDepth: cfg.BufDepth,
+			nInj:     1,
+			nEj:      1,
+			stages:   cfg.RouterStages,
+			chanLat:  cfg.ChannelLatency,
+			credLat:  cfg.CreditLatency,
+			ejCap:    cfg.EjQueueCap,
+		}
+		if p.half {
+			p.stages = cfg.HalfRouterStages
+		}
+		if topo.IsMC(node) {
+			p.nInj = cfg.MCInjPorts
+			p.nEj = cfg.MCEjPorts
+		}
+		n.routers = append(n.routers, newRouter(p, n))
+	}
+	// Wire direction channels and credits.
+	for id := 0; id < nNodes; id++ {
+		r := n.routers[id]
+		for d := Port(0); d < numDirs; d++ {
+			nb := topo.Neighbor(NodeID(id), d)
+			if nb < 0 {
+				continue
+			}
+			ch := &channel{dst: n.routers[nb], dstPort: int(d.opposite())}
+			r.outChans[d] = ch
+			n.flitChans = append(n.flitChans, ch)
+			cc := &creditChannel{dst: r, dstPort: int(d)}
+			n.routers[nb].credChans[int(d.opposite())] = cc
+			n.credChans = append(n.credChans, cc)
+			for v := 0; v < cfg.NumVCs; v++ {
+				r.outputs[d][v].credits = cfg.BufDepth
+			}
+		}
+	}
+	for id := 0; id < nNodes; id++ {
+		n.nis = append(n.nis, newNetIface(NodeID(id), n.routers[id], n))
+	}
+	return m, nil
+}
+
+// MustNewMesh is NewMesh but panics on error.
+func MustNewMesh(cfg Config) *Mesh {
+	m, err := NewMesh(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Topology exposes the mesh geometry.
+func (n *meshNet) Topology() *Topology { return n.topo }
+
+// FlitBytes returns the channel flit size.
+func (n *meshNet) FlitBytes() int { return n.cfg.FlitBytes }
+
+// Cycle returns the elapsed cycles.
+func (n *meshNet) Cycle() uint64 { return n.cycle }
+
+// Stats returns the live counters.
+func (n *meshNet) Stats() *NetStats { return &n.stats }
+
+// Quiet reports whether the network holds no packets.
+func (n *meshNet) Quiet() bool { return n.active == 0 }
+
+// CanInject reports source-queue space for class at node.
+func (n *meshNet) CanInject(node NodeID, class TrafficClass) bool {
+	return len(n.nis[node].srcQ[class]) < n.cfg.SrcQueueCap
+}
+
+// TryInject offers p at p.Src. On success the network owns the packet until
+// it reappears in Delivered(p.Dst).
+func (n *meshNet) TryInject(p *Packet) bool {
+	if p.Src < 0 || int(p.Src) >= n.topo.NumNodes() || p.Dst < 0 || int(p.Dst) >= n.topo.NumNodes() {
+		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst))
+	}
+	if !n.CanInject(p.Src, p.Class) {
+		return false
+	}
+	yx, inter, err := planRoute(n.topo, n.cfg.Routing, p.Src, p.Dst, n.rng)
+	if err != nil {
+		panic(err)
+	}
+	p.YXPhase, p.Intermediate = yx, inter
+	p.ID = n.nextPkt
+	n.nextPkt++
+	p.OfferedAt = n.cycle
+	ni := n.nis[p.Src]
+	ni.srcQ[p.Class] = append(ni.srcQ[p.Class], p)
+	n.active++
+	return true
+}
+
+// Delivered returns and clears packets assembled at node.
+func (n *meshNet) Delivered(node NodeID) []*Packet {
+	ni := n.nis[node]
+	out := ni.delivered
+	ni.delivered = nil
+	return out
+}
+
+// Tick advances one network cycle.
+func (n *meshNet) Tick() {
+	n.cycle++
+	for _, ch := range n.flitChans {
+		ch.deliver(n.cycle)
+	}
+	for _, cc := range n.credChans {
+		cc.deliver(n.cycle)
+	}
+	for _, ni := range n.nis {
+		ni.injectStep(n.cycle)
+	}
+	for _, r := range n.routers {
+		r.step(n.cycle)
+	}
+	for _, ni := range n.nis {
+		ni.ejectStep(n.cycle)
+	}
+	n.stats.Cycles++
+}

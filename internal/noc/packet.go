@@ -1,0 +1,99 @@
+// Package noc implements the cycle-level on-chip network models of the
+// paper: a 2D mesh of virtual-channel wormhole routers (full and half
+// routers, multi-port memory-controller routers), dimension-order and
+// checkerboard routing, credit-based flow control, channel-sliced double
+// networks, and idealized (zero-latency) networks for limit studies.
+package noc
+
+import "fmt"
+
+// NodeID identifies a mesh tile: id = y*width + x.
+type NodeID int
+
+// TrafficClass separates request and reply traffic, which must use disjoint
+// virtual channels (or disjoint physical networks) to avoid protocol
+// deadlock.
+type TrafficClass int
+
+// Traffic classes.
+const (
+	ClassRequest TrafficClass = iota
+	ClassReply
+	NumClasses
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassReply:
+		return "reply"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Packet is one network transaction. Routing state (YX flag, intermediate
+// node) is planned at injection by the routing algorithm and consumed by
+// per-hop route computation.
+type Packet struct {
+	ID    uint64
+	Src   NodeID
+	Dst   NodeID
+	Class TrafficClass
+	Bytes int // payload size; flit count = ceil(Bytes/flitBytes)
+
+	// Routing state for checkerboard routing (§IV-B).
+	YXPhase      bool   // currently routing Y-first
+	Intermediate NodeID // CR case-2 intermediate full-router; < 0 when unused
+
+	Meta interface{} // opaque caller payload
+
+	// Timing, in network cycles.
+	OfferedAt  uint64 // when handed to the network interface
+	InjectedAt uint64 // when the head flit entered the injection buffer
+	ArrivedAt  uint64 // when the last flit was ejected
+
+	flits int // cached flit count
+}
+
+// NetworkLatency is the in-network latency (head injection to tail arrival).
+func (p *Packet) NetworkLatency() uint64 { return p.ArrivedAt - p.InjectedAt }
+
+// TotalLatency includes source-queue waiting time.
+func (p *Packet) TotalLatency() uint64 { return p.ArrivedAt - p.OfferedAt }
+
+// Flit is the flow-control unit. Flits of one packet always travel in order
+// on a single virtual channel per link.
+type Flit struct {
+	Pkt  *Packet
+	Seq  int // 0-based position within the packet
+	Head bool
+	Tail bool
+	VC   int // virtual channel on the link the flit currently occupies
+
+	arrived uint64 // cycle the flit entered its current input buffer; lets a
+	// queued head overlap its buffer-write/RC stages with the
+	// previous packet's drain (pipelined routers do this)
+}
+
+// flitCount returns the number of flits a payload of n bytes needs on links
+// with the given flit size.
+func flitCount(n, flitBytes int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + flitBytes - 1) / flitBytes
+}
+
+// makeFlits materializes the flits of p for a network with the given flit
+// size.
+func makeFlits(p *Packet, flitBytes int) []Flit {
+	n := flitCount(p.Bytes, flitBytes)
+	p.flits = n
+	fs := make([]Flit, n)
+	for i := range fs {
+		fs[i] = Flit{Pkt: p, Seq: i, Head: i == 0, Tail: i == n-1}
+	}
+	return fs
+}

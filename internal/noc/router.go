@@ -1,0 +1,360 @@
+package noc
+
+import "fmt"
+
+// vcState is the lifecycle of an input virtual channel.
+type vcState int
+
+const (
+	vcIdle   vcState = iota // no packet, or next head not yet route-computed
+	vcWaitVA                // route computed, waiting for an output VC
+	vcActive                // output VC held, flits compete in switch allocation
+)
+
+// inVC is one input virtual channel: a flit FIFO plus allocation state.
+type inVC struct {
+	buf     []Flit
+	state   vcState
+	outPort int   // granted output port (valid from vcWaitVA on)
+	outVC   int   // granted output VC (valid in vcActive)
+	allowed []int // output VCs this packet may use at this hop
+	readyAt uint64
+}
+
+// outVC is the book-keeping for one (output port, VC) pair.
+type outVC struct {
+	credits int // free buffer slots at the downstream input VC
+	owner   int // input index holding this VC, or -1 when free
+}
+
+// pipeDelays maps a router pipeline depth to stage delays. The uncontended
+// per-hop latency is rc+va+st+channelLatency, so the paper's 4-stage router
+// with 1-cycle channels costs 5 cycles per hop, and the aggressive 1-cycle
+// router costs 2.
+func pipeDelays(stages int) (rc, va, st uint64) {
+	switch {
+	case stages <= 1:
+		return 0, 0, 1
+	case stages == 2:
+		return 0, 1, 1
+	default:
+		return uint64(stages) - 2, 1, 1
+	}
+}
+
+// routerParams configures one router instance.
+type routerParams struct {
+	node     NodeID
+	half     bool // half-router: no turns between dimensions (§IV-A)
+	numVCs   int
+	bufDepth int
+	nInj     int // injection (terminal input) ports
+	nEj      int // ejection (terminal output) ports
+	stages   int // pipeline depth (4 baseline, 3 half, 1 aggressive)
+	chanLat  uint64
+	credLat  uint64
+	ejCap    int // ejection queue capacity, in flits
+}
+
+// router is a VC wormhole router with separable round-robin (iSLIP-style)
+// VC and switch allocation.
+type router struct {
+	p    routerParams
+	net  *meshNet
+	rcD  uint64
+	vaD  uint64
+	stD  uint64
+	nIn  int // 4 dirs + nInj
+	nOut int // 4 dirs + nEj
+
+	inputs  [][]inVC // [inPort][vc]
+	outputs [][]outVC
+
+	outChans  []*channel       // per dir output port; nil at mesh edge
+	credChans []*creditChannel // per dir input port, back to upstream; nil at edge or terminal
+
+	ejQ [][]flitEvent // per ejection port
+
+	// Round-robin pointers.
+	vaPtr    []int // per outPort*numVCs+outVC, over input index
+	saInPtr  []int // per input port, over VCs
+	saOutPtr []int // per output port, over input ports
+	ejRR     int
+
+	// scratch, reused across cycles
+	vaReqs map[int][]int
+	saReqs map[int][]int
+}
+
+func newRouter(p routerParams, net *meshNet) *router {
+	r := &router{p: p, net: net}
+	r.rcD, r.vaD, r.stD = pipeDelays(p.stages)
+	r.nIn = int(numDirs) + p.nInj
+	r.nOut = int(numDirs) + p.nEj
+	r.inputs = make([][]inVC, r.nIn)
+	for i := range r.inputs {
+		r.inputs[i] = make([]inVC, p.numVCs)
+		for v := range r.inputs[i] {
+			r.inputs[i][v].outPort = -1
+		}
+	}
+	r.outputs = make([][]outVC, r.nOut)
+	for o := range r.outputs {
+		r.outputs[o] = make([]outVC, p.numVCs)
+		for v := range r.outputs[o] {
+			r.outputs[o][v].owner = -1
+		}
+	}
+	r.outChans = make([]*channel, numDirs)
+	r.credChans = make([]*creditChannel, numDirs)
+	r.ejQ = make([][]flitEvent, p.nEj)
+	r.vaPtr = make([]int, r.nOut*p.numVCs)
+	r.saInPtr = make([]int, r.nIn)
+	r.saOutPtr = make([]int, r.nOut)
+	r.vaReqs = make(map[int][]int)
+	r.saReqs = make(map[int][]int)
+	return r
+}
+
+func (r *router) inIdx(port, vc int) int { return port*r.p.numVCs + vc }
+
+// acceptFlit enqueues an arriving flit into its input VC buffer. Credit
+// accounting upstream guarantees space; overflow means a protocol bug.
+func (r *router) acceptFlit(port int, f Flit, cycle uint64) {
+	ivc := &r.inputs[port][f.VC]
+	if len(ivc.buf) >= r.p.bufDepth {
+		panic(fmt.Sprintf("noc: router %d port %d vc %d buffer overflow", r.p.node, port, f.VC))
+	}
+	f.arrived = cycle
+	ivc.buf = append(ivc.buf, f)
+}
+
+// acceptCredit returns a buffer slot for (output port, vc).
+func (r *router) acceptCredit(port, vc int) {
+	o := &r.outputs[port][vc]
+	o.credits++
+	if o.credits > r.p.bufDepth {
+		panic(fmt.Sprintf("noc: router %d port %d vc %d credit overflow", r.p.node, port, vc))
+	}
+}
+
+// injSpace reports free slots in an injection port VC buffer (used by the
+// network interface, which writes flits directly).
+func (r *router) injSpace(injPort, vc int) int {
+	return r.p.bufDepth - len(r.inputs[int(numDirs)+injPort][vc].buf)
+}
+
+// injectFlit writes one flit into an injection buffer.
+func (r *router) injectFlit(injPort int, f Flit, cycle uint64) {
+	r.acceptFlit(int(numDirs)+injPort, f, cycle)
+}
+
+// legalOutput reports whether this router can forward from input port in to
+// output port out. Half-routers cannot change dimension (§IV-A, Fig 13).
+func (r *router) legalOutput(in, out int) bool {
+	inDir := in < int(numDirs)
+	outDir := out < int(numDirs)
+	if !inDir || !outDir {
+		return true // terminal ports connect to everything
+	}
+	if in == out {
+		return false // no U-turns
+	}
+	if !r.p.half {
+		return true
+	}
+	return Port(out) == Port(in).opposite()
+}
+
+// step runs one router cycle: route computation, VC allocation, switch
+// allocation and switch traversal.
+func (r *router) step(cycle uint64) {
+	r.routeCompute(cycle)
+	r.vcAllocate(cycle)
+	r.switchAllocate(cycle)
+}
+
+// routeCompute processes new head flits at the front of idle VCs.
+func (r *router) routeCompute(cycle uint64) {
+	for in := 0; in < r.nIn; in++ {
+		for v := 0; v < r.p.numVCs; v++ {
+			ivc := &r.inputs[in][v]
+			if ivc.state != vcIdle || len(ivc.buf) == 0 {
+				continue
+			}
+			head := ivc.buf[0]
+			if !head.Head {
+				panic(fmt.Sprintf("noc: router %d: non-head flit (pkt %d seq %d) at front of idle vc",
+					r.p.node, head.Pkt.ID, head.Seq))
+			}
+			pkt := head.Pkt
+			out, eject := nextHop(r.net.topo, r.p.node, pkt)
+			outPort := int(out)
+			if eject {
+				outPort = int(numDirs) + r.ejRR
+				r.ejRR = (r.ejRR + 1) % r.p.nEj
+			}
+			if !r.legalOutput(in, outPort) {
+				panic(fmt.Sprintf("noc: illegal turn at router %d (half=%v): in %d -> out %d for pkt %d (%d->%d)",
+					r.p.node, r.p.half, in, outPort, pkt.ID, pkt.Src, pkt.Dst))
+			}
+			ivc.outPort = outPort
+			ivc.allowed = r.net.vcs.allowed(pkt.Class, pkt.YXPhase)
+			ivc.state = vcWaitVA
+			// Heads that queued behind a previous packet already overlapped
+			// their buffer-write/RC stages with its drain.
+			ivc.readyAt = head.arrived + r.rcD
+			if ivc.readyAt < cycle {
+				ivc.readyAt = cycle
+			}
+		}
+	}
+}
+
+// vcAllocate matches waiting input VCs to free output VCs: each input VC
+// bids for the first free VC in its allowed set; each contested output VC
+// grants round-robin.
+func (r *router) vcAllocate(cycle uint64) {
+	reqs := r.vaReqs
+	for k := range reqs {
+		delete(reqs, k)
+	}
+	for in := 0; in < r.nIn; in++ {
+		for v := 0; v < r.p.numVCs; v++ {
+			ivc := &r.inputs[in][v]
+			if ivc.state != vcWaitVA || ivc.readyAt > cycle {
+				continue
+			}
+			for _, ov := range ivc.allowed {
+				if r.outputs[ivc.outPort][ov].owner < 0 {
+					key := ivc.outPort*r.p.numVCs + ov
+					reqs[key] = append(reqs[key], r.inIdx(in, v))
+					break
+				}
+			}
+		}
+	}
+	for key, bidders := range reqs {
+		winner := pickRR(bidders, &r.vaPtr[key])
+		in, v := winner/r.p.numVCs, winner%r.p.numVCs
+		ivc := &r.inputs[in][v]
+		op, ov := key/r.p.numVCs, key%r.p.numVCs
+		r.outputs[op][ov].owner = winner
+		ivc.outVC = ov
+		ivc.state = vcActive
+		ivc.readyAt = cycle + r.vaD
+	}
+}
+
+// switchAllocate picks one flit per input port and one per output port
+// (input-first separable allocation) and traverses the switch.
+func (r *router) switchAllocate(cycle uint64) {
+	reqs := r.saReqs
+	for k := range reqs {
+		delete(reqs, k)
+	}
+	for in := 0; in < r.nIn; in++ {
+		v, ok := r.pickSAInput(in, cycle)
+		if !ok {
+			continue
+		}
+		out := r.inputs[in][v].outPort
+		reqs[out] = append(reqs[out], r.inIdx(in, v))
+	}
+	for out, bidders := range reqs {
+		winner := pickRR(bidders, &r.saOutPtr[out])
+		r.traverse(winner/r.p.numVCs, winner%r.p.numVCs, cycle)
+	}
+}
+
+// pickSAInput selects, round-robin, an eligible VC at input port in.
+func (r *router) pickSAInput(in int, cycle uint64) (int, bool) {
+	n := r.p.numVCs
+	start := r.saInPtr[in]
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		ivc := &r.inputs[in][v]
+		if ivc.state != vcActive || ivc.readyAt > cycle || len(ivc.buf) == 0 {
+			continue
+		}
+		if !r.outputReady(ivc.outPort, ivc.outVC) {
+			continue
+		}
+		r.saInPtr[in] = (v + 1) % n
+		return v, true
+	}
+	return 0, false
+}
+
+// outputReady reports whether a flit can leave via (port, vc) this cycle:
+// a downstream credit for direction ports, a queue slot for ejection ports.
+func (r *router) outputReady(port, vc int) bool {
+	if port < int(numDirs) {
+		return r.outputs[port][vc].credits > 0
+	}
+	return len(r.ejQ[port-int(numDirs)]) < r.p.ejCap
+}
+
+// traverse moves the front flit of (in, v) through the switch.
+func (r *router) traverse(in, v int, cycle uint64) {
+	ivc := &r.inputs[in][v]
+	f := ivc.buf[0]
+	ivc.buf = ivc.buf[:copy(ivc.buf, ivc.buf[1:])]
+	op, ov := ivc.outPort, ivc.outVC
+	f.VC = ov
+	if op < int(numDirs) {
+		r.outputs[op][ov].credits--
+		r.outChans[op].send(f, cycle+r.stD+r.p.chanLat)
+	} else {
+		r.ejQ[op-int(numDirs)] = append(r.ejQ[op-int(numDirs)], flitEvent{flit: f, due: cycle + r.stD})
+	}
+	r.net.stats.FlitHops++
+	// Return the freed buffer slot upstream (direction inputs only; the
+	// network interface reads injection buffer occupancy directly).
+	if in < int(numDirs) && r.credChans[in] != nil {
+		r.credChans[in].send(v, cycle+r.p.credLat)
+	}
+	if f.Tail {
+		r.outputs[op][ov].owner = -1
+		ivc.state = vcIdle
+		ivc.outPort = -1
+		ivc.allowed = nil
+	}
+}
+
+// drainEjected pops all arrived flits from the ejection queues.
+func (r *router) drainEjected(cycle uint64, visit func(Flit)) {
+	for e := range r.ejQ {
+		q := r.ejQ[e]
+		n := 0
+		for _, ev := range q {
+			if ev.due <= cycle {
+				visit(ev.flit)
+				n++
+			} else {
+				break
+			}
+		}
+		if n > 0 {
+			r.ejQ[e] = q[:copy(q, q[n:])]
+		}
+	}
+}
+
+// pickRR chooses the first bidder at or after *ptr (wrapping), then advances
+// the pointer past the winner.
+func pickRR(bidders []int, ptr *int) int {
+	best := -1
+	bestKey := 0
+	for _, b := range bidders {
+		key := b - *ptr
+		if key < 0 {
+			key += 1 << 20 // wrap below pointer to the end of the order
+		}
+		if best < 0 || key < bestKey {
+			best, bestKey = b, key
+		}
+	}
+	*ptr = best + 1
+	return best
+}

@@ -1,0 +1,220 @@
+package noc
+
+import "fmt"
+
+// Port is a direction port of a mesh router. Terminal (injection/ejection)
+// ports are numbered after the four directions.
+type Port int
+
+// Direction ports.
+const (
+	North Port = iota
+	East
+	South
+	West
+	numDirs
+)
+
+// String names the port.
+func (p Port) String() string {
+	switch p {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("T%d", int(p-numDirs))
+}
+
+// opposite returns the port on the far end of a channel leaving via p.
+func (p Port) opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	panic("noc: opposite of non-direction port")
+}
+
+// Coord is a mesh coordinate; (0,0) is the top-left tile, Y grows downward.
+type Coord struct{ X, Y int }
+
+// Topology describes the mesh geometry and node roles.
+type Topology struct {
+	Width, Height int
+	checkerboard  bool
+	mcs           map[NodeID]bool
+	mcList        []NodeID
+}
+
+// NewTopology builds a W×H mesh. When checkerboard is true, odd-parity
+// tiles ((x+y) odd) hold half-routers; mcs lists the tiles hosting memory
+// controllers, which must then all sit at half-router tiles (§IV-A).
+func NewTopology(width, height int, checkerboard bool, mcs []NodeID) (*Topology, error) {
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", width, height)
+	}
+	t := &Topology{Width: width, Height: height, checkerboard: checkerboard, mcs: make(map[NodeID]bool)}
+	for _, mc := range mcs {
+		if mc < 0 || int(mc) >= width*height {
+			return nil, fmt.Errorf("noc: MC node %d out of range for %dx%d mesh", mc, width, height)
+		}
+		if t.mcs[mc] {
+			return nil, fmt.Errorf("noc: duplicate MC node %d", mc)
+		}
+		if checkerboard && !t.IsHalf(mc) {
+			return nil, fmt.Errorf("noc: MC node %d (%v) must be at a half-router tile in a checkerboard mesh",
+				mc, t.Coord(mc))
+		}
+		t.mcs[mc] = true
+		t.mcList = append(t.mcList, mc)
+	}
+	return t, nil
+}
+
+// MustNewTopology is NewTopology but panics on error.
+func MustNewTopology(width, height int, checkerboard bool, mcs []NodeID) *Topology {
+	t, err := NewTopology(width, height, checkerboard, mcs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumNodes returns the tile count.
+func (t *Topology) NumNodes() int { return t.Width * t.Height }
+
+// Node returns the id of the tile at (x, y).
+func (t *Topology) Node(x, y int) NodeID { return NodeID(y*t.Width + x) }
+
+// Coord returns the coordinate of node n.
+func (t *Topology) Coord(n NodeID) Coord {
+	return Coord{X: int(n) % t.Width, Y: int(n) / t.Width}
+}
+
+// IsHalf reports whether node n holds a half-router.
+func (t *Topology) IsHalf(n NodeID) bool {
+	if !t.checkerboard {
+		return false
+	}
+	c := t.Coord(n)
+	return (c.X+c.Y)%2 == 1
+}
+
+// Checkerboard reports whether half-routers are enabled.
+func (t *Topology) Checkerboard() bool { return t.checkerboard }
+
+// IsMC reports whether node n hosts a memory controller.
+func (t *Topology) IsMC(n NodeID) bool { return t.mcs[n] }
+
+// MCs returns the MC nodes in declaration order.
+func (t *Topology) MCs() []NodeID { return t.mcList }
+
+// ComputeNodes returns all non-MC nodes in id order.
+func (t *Topology) ComputeNodes() []NodeID {
+	var out []NodeID
+	for n := 0; n < t.NumNodes(); n++ {
+		if !t.mcs[NodeID(n)] {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// Neighbor returns the node reached from n via direction p, or -1 at the
+// mesh edge.
+func (t *Topology) Neighbor(n NodeID, p Port) NodeID {
+	c := t.Coord(n)
+	switch p {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		panic("noc: Neighbor of non-direction port")
+	}
+	if c.X < 0 || c.X >= t.Width || c.Y < 0 || c.Y >= t.Height {
+		return -1
+	}
+	return t.Node(c.X, c.Y)
+}
+
+// HopCount returns the minimal hop distance between two nodes.
+func (t *Topology) HopCount(a, b NodeID) int {
+	ca, cb := t.Coord(a), t.Coord(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TopBottomPlacement returns the baseline MC placement (Fig 3): MCs spread
+// along the top and bottom rows, like Intel's 80-core and Tilera TILE64.
+// For the paper's 6x6 mesh with 8 MCs this is columns 1-4 of rows 0 and 5.
+func TopBottomPlacement(width, height, numMCs int) []NodeID {
+	perRow := numMCs / 2
+	mcs := make([]NodeID, 0, numMCs)
+	// Center the MCs within each row.
+	start := (width - perRow) / 2
+	for i := 0; i < perRow; i++ {
+		mcs = append(mcs, NodeID(start+i)) // top row, y = 0
+	}
+	for i := 0; i < numMCs-perRow; i++ {
+		mcs = append(mcs, NodeID((height-1)*width+start+i)) // bottom row
+	}
+	return mcs
+}
+
+// CheckerboardPlacement returns a staggered MC placement on half-router
+// (odd-parity) tiles, per §IV-A and Fig 12. For the paper's 6x6 mesh with
+// 8 MCs it spreads controllers across rows and columns to avoid the
+// hot-spotting of the top-bottom layout. Placements for other sizes pick
+// evenly spaced odd-parity tiles.
+func CheckerboardPlacement(width, height, numMCs int) []NodeID {
+	if width == 6 && height == 6 && numMCs == 8 {
+		// Interior diamond: every MC keeps all four mesh directions, so
+		// reply traffic fans out instead of concentrating on edge links.
+		coords := []Coord{
+			{2, 1}, {4, 1}, {1, 2}, {3, 2}, {2, 3}, {4, 3}, {1, 4}, {3, 4},
+		}
+		mcs := make([]NodeID, len(coords))
+		for i, c := range coords {
+			mcs[i] = NodeID(c.Y*width + c.X)
+		}
+		return mcs
+	}
+	// Generic fallback: evenly sample odd-parity tiles.
+	var odd []NodeID
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if (x+y)%2 == 1 {
+				odd = append(odd, NodeID(y*width+x))
+			}
+		}
+	}
+	if numMCs > len(odd) {
+		numMCs = len(odd)
+	}
+	mcs := make([]NodeID, 0, numMCs)
+	for i := 0; i < numMCs; i++ {
+		mcs = append(mcs, odd[i*len(odd)/numMCs])
+	}
+	return mcs
+}

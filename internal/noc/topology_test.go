@@ -1,0 +1,148 @@
+package noc
+
+import "testing"
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(1, 6, false, nil); err == nil {
+		t.Error("1-wide mesh accepted")
+	}
+	if _, err := NewTopology(6, 6, false, []NodeID{99}); err == nil {
+		t.Error("out-of-range MC accepted")
+	}
+	if _, err := NewTopology(6, 6, false, []NodeID{1, 1}); err == nil {
+		t.Error("duplicate MC accepted")
+	}
+	// MC at a full-router tile in a checkerboard mesh is invalid.
+	if _, err := NewTopology(6, 6, true, []NodeID{0}); err == nil {
+		t.Error("MC at full-router tile accepted in checkerboard mesh")
+	}
+	if _, err := NewTopology(6, 6, true, []NodeID{1}); err != nil {
+		t.Errorf("MC at half-router tile rejected: %v", err)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	topo := MustNewTopology(6, 6, false, nil)
+	for n := 0; n < topo.NumNodes(); n++ {
+		c := topo.Coord(NodeID(n))
+		if topo.Node(c.X, c.Y) != NodeID(n) {
+			t.Fatalf("coord round trip failed for node %d", n)
+		}
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	topo := MustNewTopology(6, 6, false, nil)
+	if topo.Neighbor(topo.Node(0, 0), North) != -1 {
+		t.Error("north of top-left should be off-mesh")
+	}
+	if topo.Neighbor(topo.Node(0, 0), West) != -1 {
+		t.Error("west of top-left should be off-mesh")
+	}
+	if got := topo.Neighbor(topo.Node(0, 0), East); got != topo.Node(1, 0) {
+		t.Errorf("east neighbor = %d", got)
+	}
+	if got := topo.Neighbor(topo.Node(2, 3), South); got != topo.Node(2, 4) {
+		t.Errorf("south neighbor = %d", got)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	topo := MustNewTopology(5, 7, false, nil)
+	for n := 0; n < topo.NumNodes(); n++ {
+		for d := Port(0); d < numDirs; d++ {
+			nb := topo.Neighbor(NodeID(n), d)
+			if nb < 0 {
+				continue
+			}
+			if back := topo.Neighbor(nb, d.opposite()); back != NodeID(n) {
+				t.Fatalf("neighbor symmetry broken at %d dir %v", n, d)
+			}
+		}
+	}
+}
+
+func TestHalfRouterParity(t *testing.T) {
+	topo := MustNewTopology(6, 6, true, nil)
+	half := 0
+	for n := 0; n < topo.NumNodes(); n++ {
+		c := topo.Coord(NodeID(n))
+		want := (c.X+c.Y)%2 == 1
+		if topo.IsHalf(NodeID(n)) != want {
+			t.Errorf("node %d parity mismatch", n)
+		}
+		if want {
+			half++
+		}
+	}
+	if half != 18 {
+		t.Errorf("6x6 checkerboard should have 18 half-routers, got %d", half)
+	}
+	// No half-routers without checkerboard.
+	flat := MustNewTopology(6, 6, false, nil)
+	for n := 0; n < flat.NumNodes(); n++ {
+		if flat.IsHalf(NodeID(n)) {
+			t.Fatalf("non-checkerboard mesh reported half-router at %d", n)
+		}
+	}
+}
+
+func TestTopBottomPlacement(t *testing.T) {
+	mcs := TopBottomPlacement(6, 6, 8)
+	if len(mcs) != 8 {
+		t.Fatalf("want 8 MCs, got %d", len(mcs))
+	}
+	topo := MustNewTopology(6, 6, false, mcs)
+	for _, mc := range mcs {
+		c := topo.Coord(mc)
+		if c.Y != 0 && c.Y != 5 {
+			t.Errorf("MC %v not on top or bottom row", c)
+		}
+	}
+	if len(topo.ComputeNodes()) != 28 {
+		t.Errorf("compute nodes = %d, want 28", len(topo.ComputeNodes()))
+	}
+}
+
+func TestCheckerboardPlacement(t *testing.T) {
+	mcs := CheckerboardPlacement(6, 6, 8)
+	if len(mcs) != 8 {
+		t.Fatalf("want 8 MCs, got %d", len(mcs))
+	}
+	// All MCs must be on half-router (odd-parity) tiles so the mesh accepts
+	// them; NewTopology enforces this.
+	topo, err := NewTopology(6, 6, true, mcs)
+	if err != nil {
+		t.Fatalf("checkerboard placement invalid: %v", err)
+	}
+	// Staggered: MCs span more than two rows (unlike top-bottom).
+	rows := map[int]bool{}
+	for _, mc := range mcs {
+		rows[topo.Coord(mc).Y] = true
+	}
+	if len(rows) < 4 {
+		t.Errorf("staggered placement spans only %d rows", len(rows))
+	}
+}
+
+func TestCheckerboardPlacementGenericSizes(t *testing.T) {
+	for _, tc := range []struct{ w, h, mcs int }{{4, 4, 4}, {8, 8, 8}, {6, 8, 8}} {
+		mcs := CheckerboardPlacement(tc.w, tc.h, tc.mcs)
+		if len(mcs) != tc.mcs {
+			t.Errorf("%dx%d: got %d MCs, want %d", tc.w, tc.h, len(mcs), tc.mcs)
+		}
+		if _, err := NewTopology(tc.w, tc.h, true, mcs); err != nil {
+			t.Errorf("%dx%d placement invalid: %v", tc.w, tc.h, err)
+		}
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	topo := MustNewTopology(6, 6, false, nil)
+	if got := topo.HopCount(topo.Node(0, 0), topo.Node(3, 4)); got != 7 {
+		t.Errorf("hop count = %d, want 7", got)
+	}
+	if got := topo.HopCount(5, 5); got != 0 {
+		t.Errorf("self hop count = %d, want 0", got)
+	}
+}

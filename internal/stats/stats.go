@@ -1,0 +1,245 @@
+// Package stats provides the small statistics toolkit used across the
+// simulator: accumulators for means (arithmetic and harmonic — the paper
+// reports harmonic-mean speedups), rate trackers, and histograms for
+// latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean accumulates values for an arithmetic mean.
+type Mean struct {
+	sum float64
+	n   int
+}
+
+// Add records one value.
+func (m *Mean) Add(v float64) { m.sum += v; m.n++ }
+
+// N returns the number of recorded values.
+func (m *Mean) N() int { return m.n }
+
+// Merge returns a Mean combining the samples of m and o.
+func (m Mean) Merge(o Mean) Mean { return Mean{sum: m.sum + o.sum, n: m.n + o.n} }
+
+// Sum returns the running sum.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the arithmetic mean, or 0 if no values were recorded.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// HarmonicMean returns the harmonic mean of vs, the aggregate the paper uses
+// for cross-benchmark speedups. Returns 0 for an empty slice and panics on
+// non-positive values, which have no harmonic mean.
+func HarmonicMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	recip := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %v", v))
+		}
+		recip += 1 / v
+	}
+	return float64(len(vs)) / recip
+}
+
+// ArithmeticMean returns the arithmetic mean of vs (0 for empty input).
+func ArithmeticMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// HarmonicMeanSpeedup aggregates per-benchmark speedups (each expressed as
+// new/old) the way the paper does: harmonic mean over ratios.
+func HarmonicMeanSpeedup(ratios []float64) float64 { return HarmonicMean(ratios) }
+
+// Ratio is a convenient two-counter rate: events over opportunities.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Observe records one opportunity, a hit when hit is true.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 when nothing was observed.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Histogram is a fixed-width bucket histogram with an overflow bucket,
+// used for packet-latency distributions.
+type Histogram struct {
+	bucketWidth float64
+	counts      []uint64
+	overflow    uint64
+	sum         float64
+	n           uint64
+	max         float64
+}
+
+// NewHistogram creates a histogram with nBuckets buckets of the given width.
+func NewHistogram(bucketWidth float64, nBuckets int) *Histogram {
+	if bucketWidth <= 0 || nBuckets <= 0 {
+		panic("stats: histogram needs positive bucket width and count")
+	}
+	return &Histogram{bucketWidth: bucketWidth, counts: make([]uint64, nBuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+	idx := int(v / h.bucketWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[idx]++
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Percentile returns an approximate p-quantile (p in [0,1]) using bucket
+// upper bounds; overflow samples report as +Inf.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.bucketWidth
+		}
+	}
+	return math.Inf(1)
+}
+
+// Table formats key/value result rows with aligned columns; the experiment
+// harness uses it so every figure prints in a uniform shape.
+type Table struct {
+	name    string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a named table with the given column headers.
+func NewTable(name string, headers ...string) *Table {
+	return &Table{name: name, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, hdr := range t.headers {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.name)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsByColumn orders rows by the named column's string value;
+// useful for stable, diff-friendly experiment output.
+func (t *Table) SortRowsByColumn(header string) {
+	col := -1
+	for i, h := range t.headers {
+		if h == header {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return
+	}
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i][col] < t.rows[j][col] })
+}

@@ -1,0 +1,230 @@
+// Package traffic provides the open-loop network evaluation harness used
+// for Fig 21: synthetic many-to-few-to-many traffic (uniform-random and
+// hotspot), Bernoulli injection at a swept offered load, and latency /
+// accepted-throughput measurement.
+//
+// Following the paper's open-loop setup, compute nodes inject single-flit
+// read requests to the memory-controller nodes; each request arriving at an
+// MC triggers a multi-flit reply back to the requester. Only read traffic
+// is simulated.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Pattern selects the request destination distribution.
+type Pattern int
+
+// Patterns.
+const (
+	// UniformRandom sends each request to an MC chosen uniformly.
+	UniformRandom Pattern = iota
+	// Hotspot sends 20% of requests to one MC and spreads the rest
+	// uniformly (the Fig 21(b) configuration).
+	Hotspot
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform"
+	case Hotspot:
+		return "hotspot"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// HotspotFraction is the share of requests aimed at the hotspot MC.
+const HotspotFraction = 0.20
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	Pattern        Pattern
+	InjectionRate  float64 // offered load, flits/cycle per compute node
+	ReplyBytes     int     // reply payload size (64 B => 4 flits at 16 B)
+	WarmupCycles   int
+	MeasureCycles  int
+	DrainCycles    int // extra cycles to let measured packets arrive
+	Seed           uint64
+	MaxQueuedPerMC int // reply backlog cap per MC before it stalls (0: unbounded)
+}
+
+// DefaultConfig returns the Fig 21 setup: 1-flit requests, 4-flit replies.
+func DefaultConfig() Config {
+	return Config{
+		Pattern:       UniformRandom,
+		InjectionRate: 0.02,
+		ReplyBytes:    64,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		DrainCycles:   20000,
+		Seed:          7,
+	}
+}
+
+// Result reports one open-loop measurement.
+type Result struct {
+	OfferedLoad     float64 // flits/cycle/node offered at compute nodes
+	AcceptedLoad    float64 // flits/cycle/node accepted network-wide
+	AvgLatency      float64 // mean request+reply packet network latency
+	P50Latency      float64 // median packet latency
+	P99Latency      float64 // tail packet latency
+	AvgRoundTrip    float64 // mean request-inject to reply-arrival latency
+	Saturated       bool    // reply backlogs grew or source queues overflowed
+	MeasuredPackets int
+	ReplyInjectRate float64 // mean reply packets/cycle injected per MC node
+}
+
+// Runner drives one network configuration across offered loads.
+type Runner struct {
+	build func() (noc.Network, *noc.Topology)
+}
+
+// NewRunner wraps a network constructor. build must return a fresh network
+// (and its topology) on every call so sweeps are independent.
+func NewRunner(build func() (noc.Network, *noc.Topology)) *Runner {
+	return &Runner{build: build}
+}
+
+// NewMeshRunner is a convenience Runner over a mesh config.
+func NewMeshRunner(cfg noc.Config) *Runner {
+	return NewRunner(func() (noc.Network, *noc.Topology) {
+		m := noc.MustNewMesh(cfg)
+		return m, m.Topology()
+	})
+}
+
+type pendingReply struct {
+	dst       noc.NodeID
+	offeredAt uint64 // request offer time, for round-trip measurement
+	measured  bool
+}
+
+// Run measures one offered load point.
+func (r *Runner) Run(cfg Config) Result {
+	net, topo := r.build()
+	rng := xrand.New(cfg.Seed)
+	comp := topo.ComputeNodes()
+	mcs := topo.MCs()
+	if len(mcs) == 0 {
+		panic("traffic: network has no MC nodes")
+	}
+	hot := mcs[0]
+
+	var lat stats.Mean
+	var rtt stats.Mean
+	hist := stats.NewHistogram(4, 1024) // latency buckets up to 4096 cycles
+	measured := 0
+	dropCycles := 0
+	replyFlitsInjected := uint64(0)
+
+	// Per-compute-node Bernoulli injectors; per-MC reply backlogs.
+	backlog := make(map[noc.NodeID][]pendingReply)
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	measureStart := uint64(cfg.WarmupCycles)
+	measureEnd := uint64(cfg.WarmupCycles + cfg.MeasureCycles)
+
+	for cyc := 0; cyc < total; cyc++ {
+		now := net.Cycle()
+		injecting := cyc < cfg.WarmupCycles+cfg.MeasureCycles
+		if injecting {
+			for _, c := range comp {
+				if !rng.Bool(cfg.InjectionRate) {
+					continue
+				}
+				var dst noc.NodeID
+				if cfg.Pattern == Hotspot {
+					// Exactly HotspotFraction of requests target the hot MC;
+					// the rest spread over the remaining controllers.
+					if rng.Bool(HotspotFraction) {
+						dst = hot
+					} else {
+						dst = mcs[1+rng.Intn(len(mcs)-1)]
+					}
+				} else {
+					dst = mcs[rng.Intn(len(mcs))]
+				}
+				inMeasure := now >= measureStart && now < measureEnd
+				pkt := &noc.Packet{Src: c, Dst: dst, Class: noc.ClassRequest, Bytes: 8,
+					Meta: pendingReply{dst: c, offeredAt: now, measured: inMeasure}}
+				if !net.TryInject(pkt) {
+					dropCycles++
+				}
+			}
+		}
+		// MCs turn arrived requests into replies.
+		for _, mc := range mcs {
+			for _, pkt := range net.Delivered(mc) {
+				pr := pkt.Meta.(pendingReply)
+				if pr.measured {
+					lat.Add(float64(pkt.TotalLatency()))
+					hist.Add(float64(pkt.TotalLatency()))
+				}
+				backlog[mc] = append(backlog[mc], pr)
+			}
+			q := backlog[mc]
+			n := 0
+			for _, pr := range q {
+				reply := &noc.Packet{Src: mc, Dst: pr.dst, Class: noc.ClassReply,
+					Bytes: cfg.ReplyBytes, Meta: pr}
+				if !net.TryInject(reply) {
+					break
+				}
+				replyFlitsInjected++
+				n++
+			}
+			backlog[mc] = q[:copy(q, q[n:])]
+		}
+		// Compute nodes absorb replies.
+		for _, c := range comp {
+			for _, pkt := range net.Delivered(c) {
+				pr := pkt.Meta.(pendingReply)
+				if pr.measured {
+					lat.Add(float64(pkt.TotalLatency()))
+					hist.Add(float64(pkt.TotalLatency()))
+					rtt.Add(float64(pkt.ArrivedAt - pr.offeredAt))
+					measured++
+				}
+			}
+		}
+		net.Tick()
+	}
+
+	st := net.Stats()
+	backlogged := 0
+	for _, q := range backlog {
+		backlogged += len(q)
+	}
+	res := Result{
+		OfferedLoad:     cfg.InjectionRate,
+		AcceptedLoad:    st.AcceptedFlitsPerCycle(),
+		AvgLatency:      lat.Value(),
+		P50Latency:      hist.Percentile(0.50),
+		P99Latency:      hist.Percentile(0.99),
+		AvgRoundTrip:    rtt.Value(),
+		MeasuredPackets: measured,
+		Saturated: dropCycles > cfg.MeasureCycles*len(comp)/20 ||
+			backlogged > 10*len(mcs),
+		ReplyInjectRate: float64(replyFlitsInjected) / float64(st.Cycles) / float64(len(mcs)),
+	}
+	return res
+}
+
+// Sweep runs ascending offered loads and returns one Result per point.
+// Reply size scales with the network's flit width via replyBytes.
+func (r *Runner) Sweep(base Config, rates []float64) []Result {
+	out := make([]Result, 0, len(rates))
+	for _, rate := range rates {
+		cfg := base
+		cfg.InjectionRate = rate
+		out = append(out, r.Run(cfg))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func testRunner() *Runner {
+	return NewMeshRunner(noc.DefaultConfig())
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 1500
+	cfg.DrainCycles = 4000
+	return cfg
+}
+
+func TestLowLoadLatencyNearZeroLoad(t *testing.T) {
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.002
+	res := testRunner().Run(cfg)
+	if res.MeasuredPackets == 0 {
+		t.Fatal("no packets measured")
+	}
+	// Zero-load request latency is ~20-30 cycles on a 6x6 mesh with
+	// 4-stage routers; at trivial load the average must stay low.
+	if res.AvgLatency > 45 {
+		t.Errorf("low-load latency = %v, want < 45", res.AvgLatency)
+	}
+	if res.Saturated {
+		t.Error("trivial load reported as saturated")
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	r := testRunner()
+	lo := quickConfig()
+	lo.InjectionRate = 0.005
+	hi := quickConfig()
+	hi.InjectionRate = 0.05
+	resLo := r.Run(lo)
+	resHi := r.Run(hi)
+	if resHi.AvgLatency <= resLo.AvgLatency {
+		t.Errorf("latency did not grow with load: %.1f @0.005 vs %.1f @0.05",
+			resLo.AvgLatency, resHi.AvgLatency)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.30 // far beyond any mesh capacity here
+	res := testRunner().Run(cfg)
+	if !res.Saturated {
+		t.Error("extreme load not reported as saturated")
+	}
+	if res.ReplyInjectRate <= 0 {
+		t.Error("no replies injected at saturation")
+	}
+}
+
+func TestAcceptedTracksOfferedBelowSaturation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.01
+	res := testRunner().Run(cfg)
+	// Accepted load (all nodes, incl. replies) must exceed the request-only
+	// offered load but stay in the same regime.
+	if res.AcceptedLoad <= 0 {
+		t.Fatal("no accepted traffic")
+	}
+	if res.Saturated {
+		t.Error("low load saturated")
+	}
+}
+
+func TestHotspotSaturatesEarlier(t *testing.T) {
+	// At a load where the uniform pattern is comfortably below saturation,
+	// concentrating 20% of requests on one MC pushes that MC's reply path
+	// over the edge: latency rises and fewer replies get through.
+	r := testRunner()
+	uni := quickConfig()
+	uni.InjectionRate = 0.03
+	hot := uni
+	hot.Pattern = Hotspot
+	uniRes := r.Run(uni)
+	hotRes := r.Run(hot)
+	if hotRes.AvgLatency <= uniRes.AvgLatency {
+		t.Errorf("hotspot latency %.1f not above uniform %.1f",
+			hotRes.AvgLatency, uniRes.AvgLatency)
+	}
+}
+
+func TestCheckerboard2PSaturatesLater(t *testing.T) {
+	// The paper's Fig 21 ordering: CP-CR-2P sustains more load than TB-DOR.
+	tb := noc.DefaultConfig()
+	cpcr2p := tb
+	cpcr2p.Checkerboard = true
+	cpcr2p.Routing = noc.RoutingCheckerboard
+	cpcr2p.MCs = noc.CheckerboardPlacement(6, 6, 8)
+	cpcr2p.NumVCs = 4
+	cpcr2p.MCInjPorts = 2
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.30
+	tbRes := NewMeshRunner(tb).Run(cfg)
+	teRes := NewMeshRunner(cpcr2p).Run(cfg)
+	if teRes.ReplyInjectRate <= tbRes.ReplyInjectRate {
+		t.Errorf("CP-CR-2P reply throughput %.3f not above TB-DOR %.3f",
+			teRes.ReplyInjectRate, tbRes.ReplyInjectRate)
+	}
+}
+
+func TestSweepOrdering(t *testing.T) {
+	r := testRunner()
+	base := quickConfig()
+	results := r.Sweep(base, []float64{0.005, 0.02})
+	if len(results) != 2 {
+		t.Fatalf("sweep returned %d results", len(results))
+	}
+	if results[0].OfferedLoad != 0.005 || results[1].OfferedLoad != 0.02 {
+		t.Error("sweep results out of order")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r := testRunner()
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.02
+	a := r.Run(cfg)
+	b := r.Run(cfg)
+	if a.AvgLatency != b.AvgLatency || a.MeasuredPackets != b.MeasuredPackets {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if UniformRandom.String() != "uniform" || Hotspot.String() != "hotspot" {
+		t.Error("pattern names wrong")
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	cfg := quickConfig()
+	cfg.InjectionRate = 0.03
+	res := testRunner().Run(cfg)
+	if res.P50Latency <= 0 || res.P99Latency < res.P50Latency {
+		t.Errorf("percentiles inconsistent: p50=%v p99=%v", res.P50Latency, res.P99Latency)
+	}
+	if res.AvgLatency < res.P50Latency/4 || res.AvgLatency > res.P99Latency*2 {
+		t.Errorf("mean %v far outside [p50=%v, p99=%v]", res.AvgLatency, res.P50Latency, res.P99Latency)
+	}
+}

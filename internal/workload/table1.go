@@ -1,0 +1,125 @@
+package workload
+
+import "fmt"
+
+// Catalog returns the 31 benchmarks of Table I as synthetic profiles.
+//
+// Parameters are calibrated (see EXPERIMENTS.md) so that under the paper's
+// baseline configuration each benchmark reproduces its published traffic
+// class: the first letter is H when the perfect-network speedup exceeds 30%
+// and the second is H when accepted traffic exceeds 1 byte/cycle/node
+// (§III-B). LL kernels are compute-bound with strong locality; LH kernels
+// stream heavily but stay below network saturation; HH kernels are
+// memory-bound and expose the many-to-few-to-many reply bottleneck.
+func Catalog() []Profile {
+	return []Profile{
+		// ---- LL: low speedup with a perfect NoC, light traffic ----
+		{Name: "AES Cryptography", Abbr: "AES", Class: "LL",
+			Warps: 24, InstrsPerWarp: 500, MemFraction: 0.022, WriteFraction: 0.20,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 2048, Sequential: 0.33, Reuse: 0.62},
+		{Name: "Binomial Option Pricing", Abbr: "BIN", Class: "LL",
+			Warps: 32, InstrsPerWarp: 550, MemFraction: 0.010, WriteFraction: 0.25,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 1024, Sequential: 0.40, Reuse: 0.55},
+		{Name: "HotSpot", Abbr: "HSP", Class: "LL",
+			Warps: 24, InstrsPerWarp: 450, MemFraction: 0.024, WriteFraction: 0.30,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 3072, Sequential: 0.30, Reuse: 0.64},
+		{Name: "Neural Network Digit Recognition", Abbr: "NE", Class: "LL",
+			Warps: 28, InstrsPerWarp: 500, MemFraction: 0.020, WriteFraction: 0.15,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 4096, Sequential: 0.36, Reuse: 0.60},
+		{Name: "Needleman-Wunsch", Abbr: "NDL", Class: "LL",
+			Warps: 16, InstrsPerWarp: 480, MemFraction: 0.022, WriteFraction: 0.35,
+			LinesPerMemInstr: 2, ActiveThreads: 28, WorkingSetKB: 2048, Sequential: 0.26, Reuse: 0.66},
+		{Name: "Heart Wall Tracking", Abbr: "HW", Class: "LL",
+			Warps: 24, InstrsPerWarp: 520, MemFraction: 0.020, WriteFraction: 0.20,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 3072, Sequential: 0.32, Reuse: 0.62},
+		{Name: "Leukocyte", Abbr: "LE", Class: "LL",
+			Warps: 28, InstrsPerWarp: 560, MemFraction: 0.018, WriteFraction: 0.15,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 2048, Sequential: 0.36, Reuse: 0.60},
+		{Name: "64-bin Histogram", Abbr: "HIS", Class: "LL",
+			Warps: 32, InstrsPerWarp: 450, MemFraction: 0.024, WriteFraction: 0.30,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 1536, Sequential: 0.26, Reuse: 0.68},
+		{Name: "LU Decomposition", Abbr: "LU", Class: "LL",
+			Warps: 24, InstrsPerWarp: 480, MemFraction: 0.024, WriteFraction: 0.35,
+			LinesPerMemInstr: 2, ActiveThreads: 30, WorkingSetKB: 4096, Sequential: 0.32, Reuse: 0.62},
+		{Name: "Scan of Large Arrays", Abbr: "SLA", Class: "LL",
+			Warps: 32, InstrsPerWarp: 500, MemFraction: 0.020, WriteFraction: 0.40,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 2560, Sequential: 0.38, Reuse: 0.56},
+		{Name: "Back Propagation", Abbr: "BP", Class: "LL",
+			Warps: 28, InstrsPerWarp: 480, MemFraction: 0.022, WriteFraction: 0.30,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 3072, Sequential: 0.34, Reuse: 0.60},
+
+		// ---- LH: heavy traffic but close to peak throughput already ----
+		{Name: "Separable Convolution", Abbr: "CON", Class: "LH",
+			Warps: 32, InstrsPerWarp: 420, MemFraction: 0.034, WriteFraction: 0.25,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 32768, Sequential: 0.92, Reuse: 0.04},
+		{Name: "Nearest Neighbor", Abbr: "NNC", Class: "LH",
+			Warps: 16, InstrsPerWarp: 420, MemFraction: 0.038, WriteFraction: 0.10,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 16384, Sequential: 0.90, Reuse: 0.05},
+		{Name: "Black-Scholes Option Pricing", Abbr: "BLK", Class: "LH",
+			Warps: 32, InstrsPerWarp: 420, MemFraction: 0.032, WriteFraction: 0.30,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 65536, Sequential: 0.95, Reuse: 0.02},
+		{Name: "Matrix Multiplication", Abbr: "MM", Class: "LH",
+			Warps: 32, InstrsPerWarp: 450, MemFraction: 0.034, WriteFraction: 0.08,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 24576, Sequential: 0.85, Reuse: 0.12},
+		{Name: "3D Laplace Solver", Abbr: "LPS", Class: "LH",
+			Warps: 28, InstrsPerWarp: 420, MemFraction: 0.038, WriteFraction: 0.25,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 32768, Sequential: 0.88, Reuse: 0.08},
+		{Name: "Ray Tracing", Abbr: "RAY", Class: "LH",
+			Warps: 28, InstrsPerWarp: 420, MemFraction: 0.028, WriteFraction: 0.15,
+			LinesPerMemInstr: 3, ActiveThreads: 24, WorkingSetKB: 32768, Sequential: 0.75, Reuse: 0.15},
+		{Name: "gpuDG", Abbr: "DG", Class: "LH",
+			Warps: 32, InstrsPerWarp: 440, MemFraction: 0.034, WriteFraction: 0.20,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 49152, Sequential: 0.90, Reuse: 0.05},
+		{Name: "Similarity Score", Abbr: "SS", Class: "LH",
+			Warps: 28, InstrsPerWarp: 420, MemFraction: 0.036, WriteFraction: 0.25,
+			LinesPerMemInstr: 2, ActiveThreads: 30, WorkingSetKB: 32768, Sequential: 0.85, Reuse: 0.08},
+		{Name: "Matrix Transpose", Abbr: "TRA", Class: "LH",
+			Warps: 32, InstrsPerWarp: 400, MemFraction: 0.035, WriteFraction: 0.45,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 32768, Sequential: 0.90, Reuse: 0.02},
+		{Name: "Speckle Reducing Anisotropic Diffusion", Abbr: "SR", Class: "LH",
+			Warps: 28, InstrsPerWarp: 420, MemFraction: 0.035, WriteFraction: 0.30,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 32768, Sequential: 0.88, Reuse: 0.06},
+		{Name: "Weather Prediction", Abbr: "WP", Class: "LH",
+			Warps: 24, InstrsPerWarp: 420, MemFraction: 0.028, WriteFraction: 0.30,
+			LinesPerMemInstr: 3, ActiveThreads: 32, WorkingSetKB: 49152, Sequential: 0.80, Reuse: 0.10},
+
+		// ---- HH: heavy traffic and large perfect-network speedup ----
+		{Name: "MUMmerGPU", Abbr: "MUM", Class: "HH",
+			Warps: 28, InstrsPerWarp: 220, MemFraction: 0.380, WriteFraction: 0.08,
+			LinesPerMemInstr: 5, ActiveThreads: 24, WorkingSetKB: 98304, Sequential: 0.25, Reuse: 0.08},
+		{Name: "LIBOR Monte Carlo", Abbr: "LIB", Class: "HH",
+			Warps: 28, InstrsPerWarp: 240, MemFraction: 0.250, WriteFraction: 0.10,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 65536, Sequential: 0.60, Reuse: 0.02},
+		{Name: "Fast Walsh Transform", Abbr: "FWT", Class: "HH",
+			Warps: 32, InstrsPerWarp: 240, MemFraction: 0.280, WriteFraction: 0.35,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 65536, Sequential: 0.60, Reuse: 0.05},
+		{Name: "Scalar Product", Abbr: "SCP", Class: "HH",
+			Warps: 32, InstrsPerWarp: 240, MemFraction: 0.260, WriteFraction: 0.05,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 131072, Sequential: 0.80, Reuse: 0.00},
+		{Name: "Streamcluster", Abbr: "STC", Class: "HH",
+			Warps: 28, InstrsPerWarp: 240, MemFraction: 0.235, WriteFraction: 0.15,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 65536, Sequential: 0.70, Reuse: 0.05},
+		{Name: "Kmeans", Abbr: "KM", Class: "HH",
+			Warps: 28, InstrsPerWarp: 230, MemFraction: 0.300, WriteFraction: 0.20,
+			LinesPerMemInstr: 3, ActiveThreads: 32, WorkingSetKB: 65536, Sequential: 0.55, Reuse: 0.08},
+		{Name: "CFD Solver", Abbr: "CFD", Class: "HH",
+			Warps: 24, InstrsPerWarp: 230, MemFraction: 0.420, WriteFraction: 0.25,
+			LinesPerMemInstr: 3, ActiveThreads: 32, WorkingSetKB: 98304, Sequential: 0.60, Reuse: 0.05},
+		{Name: "BFS Graph Traversal", Abbr: "BFS", Class: "HH",
+			Warps: 24, InstrsPerWarp: 220, MemFraction: 0.400, WriteFraction: 0.15,
+			LinesPerMemInstr: 6, ActiveThreads: 16, WorkingSetKB: 98304, Sequential: 0.20, Reuse: 0.10},
+		{Name: "Parallel Reduction", Abbr: "RD", Class: "HH",
+			Warps: 32, InstrsPerWarp: 240, MemFraction: 0.290, WriteFraction: 0.10,
+			LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 131072, Sequential: 0.80, Reuse: 0.00},
+	}
+}
+
+// ByAbbr returns the catalog profile with the given abbreviation.
+func ByAbbr(abbr string) (Profile, error) {
+	for _, p := range Catalog() {
+		if p.Abbr == abbr {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", abbr)
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name: "test", Abbr: "TST", Class: "HH",
+		Warps: 8, InstrsPerWarp: 100, MemFraction: 0.3, WriteFraction: 0.2,
+		LinesPerMemInstr: 2, ActiveThreads: 32, WorkingSetKB: 256,
+		Sequential: 0.6, Reuse: 0.2,
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := testProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Warps = 0 },
+		func(p *Profile) { p.Warps = 33 },
+		func(p *Profile) { p.InstrsPerWarp = 0 },
+		func(p *Profile) { p.MemFraction = 1.5 },
+		func(p *Profile) { p.WriteFraction = -0.1 },
+		func(p *Profile) { p.LinesPerMemInstr = 0 },
+		func(p *Profile) { p.LinesPerMemInstr = 64 },
+		func(p *Profile) { p.ActiveThreads = 0 },
+		func(p *Profile) { p.WorkingSetKB = 0 },
+		func(p *Profile) { p.Sequential = 0.8; p.Reuse = 0.4 },
+	}
+	for i, m := range mutations {
+		p := testProfile()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 31 {
+		t.Fatalf("catalog has %d benchmarks, Table I lists 31", len(cat))
+	}
+	classes := map[string]int{}
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Abbr, err)
+		}
+		if seen[p.Abbr] {
+			t.Errorf("duplicate abbreviation %s", p.Abbr)
+		}
+		seen[p.Abbr] = true
+		classes[p.Class]++
+	}
+	// Fig 7 grouping: 11 LL, 11 LH, 9 HH.
+	if classes["LL"] != 11 || classes["LH"] != 11 || classes["HH"] != 9 {
+		t.Errorf("class counts = %v, want LL:11 LH:11 HH:9", classes)
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	p, err := ByAbbr("MUM")
+	if err != nil || p.Name != "MUMmerGPU" {
+		t.Errorf("ByAbbr(MUM) = %+v, %v", p, err)
+	}
+	if _, err := ByAbbr("nope"); err == nil {
+		t.Error("unknown abbreviation accepted")
+	}
+}
+
+func TestGeneratorInstrCount(t *testing.T) {
+	g := MustNewGenerator(testProfile(), 0, 1, 1)
+	for w := 0; w < 8; w++ {
+		n := 0
+		for {
+			_, ok := g.Next(w)
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != 100 {
+			t.Errorf("warp %d issued %d instrs, want 100", w, n)
+		}
+		if !g.Done(w) {
+			t.Errorf("warp %d not done", w)
+		}
+	}
+	if !g.AllDone() {
+		t.Error("generator not AllDone")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	collect := func() []Instr {
+		g := MustNewGenerator(testProfile(), 3, 28, 42)
+		var out []Instr
+		for w := 0; w < 8; w++ {
+			for {
+				ins, ok := g.Next(w)
+				if !ok {
+					break
+				}
+				cp := ins
+				cp.Lines = append([]addr.Address(nil), ins.Lines...)
+				out = append(out, cp)
+			}
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Mem != b[i].Mem || a[i].Write != b[i].Write || len(a[i].Lines) != len(b[i].Lines) {
+			t.Fatalf("instr %d differs", i)
+		}
+		for j := range a[i].Lines {
+			if a[i].Lines[j] != b[i].Lines[j] {
+				t.Fatalf("instr %d line %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorCoresInterleaveStreams(t *testing.T) {
+	// Streaming cores of one kernel share the address space (like CTAs of
+	// one CUDA grid): at the same progress point, core 0 and core 1 touch
+	// adjacent chunks, k*warps lines apart.
+	p := testProfile()
+	p.Sequential, p.Reuse = 1.0, 0.0
+	p.MemFraction = 1.0
+	g0 := MustNewGenerator(p, 0, 2, 1)
+	g1 := MustNewGenerator(p, 1, 2, 1)
+	i0, _ := g0.Next(0)
+	i1, _ := g1.Next(0)
+	stride := addr.Address(p.Warps * p.LinesPerMemInstr * 64)
+	if i1.Lines[0] != i0.Lines[0]+stride {
+		t.Errorf("core 1 first line %#x, want %#x (core 0 + %d)",
+			i1.Lines[0], i0.Lines[0]+stride, stride)
+	}
+}
+
+func TestGeneratorRejectsBadCoreIndex(t *testing.T) {
+	if _, err := NewGenerator(testProfile(), 3, 2, 1); err == nil {
+		t.Error("coreID >= numCores accepted")
+	}
+	if _, err := NewGenerator(testProfile(), 0, 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestGeneratorMemFraction(t *testing.T) {
+	p := testProfile()
+	p.InstrsPerWarp = 5000
+	g := MustNewGenerator(p, 0, 1, 7)
+	mem, total := 0, 0
+	for w := 0; w < p.Warps; w++ {
+		for {
+			ins, ok := g.Next(w)
+			if !ok {
+				break
+			}
+			total++
+			if ins.Mem {
+				mem++
+				if len(ins.Lines) != p.LinesPerMemInstr {
+					t.Fatalf("mem instr has %d lines, want %d", len(ins.Lines), p.LinesPerMemInstr)
+				}
+			} else if len(ins.Lines) != 0 {
+				t.Fatal("compute instr carries addresses")
+			}
+		}
+	}
+	frac := float64(mem) / float64(total)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("memory fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestGeneratorAddressesLineAlignedInWorkingSet(t *testing.T) {
+	f := func(seed uint64, core uint8) bool {
+		p := testProfile()
+		p.InstrsPerWarp = 60
+		g := MustNewGenerator(p, int(core%28), 28, seed)
+		ws := uint64(p.WorkingSetKB) * 1024
+		for w := 0; w < p.Warps; w++ {
+			for {
+				ins, ok := g.Next(w)
+				if !ok {
+					break
+				}
+				for _, l := range ins.Lines {
+					a := uint64(l)
+					if a%64 != 0 {
+						return false
+					}
+					if a >= ws {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialProfileHasLocality(t *testing.T) {
+	// A 100%-sequential profile must produce mostly consecutive lines.
+	p := testProfile()
+	p.Sequential, p.Reuse = 1.0, 0.0
+	p.Warps = 1
+	p.MemFraction = 1.0
+	p.InstrsPerWarp = 200
+	g := MustNewGenerator(p, 0, 1, 3)
+	var prev addr.Address
+	consecutive, total := 0, 0
+	for {
+		ins, ok := g.Next(0)
+		if !ok {
+			break
+		}
+		for _, l := range ins.Lines {
+			if prev != 0 && l == prev+64 {
+				consecutive++
+			}
+			prev = l
+			total++
+		}
+	}
+	if frac := float64(consecutive) / float64(total); frac < 0.9 {
+		t.Errorf("sequential fraction %v, want > 0.9", frac)
+	}
+}
