@@ -55,4 +55,10 @@ func main() {
 		}
 		fmt.Println(rep)
 	}
+	if dnf := suite.DNF(); len(dnf) > 0 {
+		fmt.Printf("%d run(s) did not finish (excluded from aggregates):\n", len(dnf))
+		for _, line := range dnf {
+			fmt.Println("  " + line)
+		}
+	}
 }

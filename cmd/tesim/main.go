@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/noc"
 	"repro/internal/stats"
@@ -49,8 +50,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "kernel length scale")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	sched := flag.String("sched", "rr", "warp scheduler: rr|gto")
+	faultRate := flag.Float64("fault-rate", 0, "network fault injection master rate (0 disables)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (independent of -seed)")
+	watchdog := flag.Uint64("watchdog-cycles", fault.DefaultConfig().WatchdogCycles,
+		"deadlock watchdog no-movement window in icnt cycles (0 disables health checks)")
 	flag.Parse()
 
+	if *faultRate < 0 || *faultRate > 1 {
+		fmt.Fprintf(os.Stderr, "tesim: -fault-rate %g outside [0,1]\n", *faultRate)
+		os.Exit(2)
+	}
 	build, ok := configs[strings.ToLower(*config)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tesim: unknown config %q (have %s)\n", *config, strings.Join(configNames(), ", "))
@@ -68,33 +77,63 @@ func main() {
 		profiles = []workload.Profile{p}
 	}
 
-	tb := stats.NewTable("tesim results",
-		"bench", "config", "IPC", "icnt cycles", "net lat", "MC stall", "DRAM eff", "L1 hit", "L2 hit")
+	headers := []string{"bench", "config", "IPC", "icnt cycles", "net lat",
+		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status"}
+	if *faultRate > 0 {
+		headers = append(headers, "retx", "dropped", "avg retries")
+	}
+	tb := stats.NewTable("tesim results", headers...)
 	var ipcs []float64
+	dnf := 0
 	for _, p := range profiles {
 		cfg := build(p).ScaleWork(*scale)
 		cfg.Seed = *seed
 		if strings.ToLower(*sched) == "gto" {
 			cfg.Core.Scheduler = gpu.SchedGTO
 		}
+		if *faultRate > 0 {
+			cfg = cfg.WithFaults(*faultRate, *faultSeed)
+		}
+		cfg = cfg.WithWatchdog(*watchdog)
 		res, err := core.Run(cfg)
-		if err != nil {
+		if err != nil && !fault.IsHang(err) {
 			fmt.Fprintln(os.Stderr, "tesim:", err)
 			os.Exit(1)
 		}
-		if res.TimedOut {
-			fmt.Fprintf(os.Stderr, "tesim: %s timed out\n", p.Abbr)
+		if err != nil {
+			// Hang verdict (deadlock, livelock, cycle cap, stall): report
+			// the degraded row plus its diagnostic and keep going.
+			dnf++
+			fmt.Fprintf(os.Stderr, "tesim: %s did not finish: %v\n", p.Abbr, err)
+			var he *fault.HangError
+			if fault.AsHang(err, &he) && !he.Diag.Empty() {
+				fmt.Fprintln(os.Stderr, he.Diag.String())
+			}
+		} else {
+			ipcs = append(ipcs, res.IPC)
 		}
-		ipcs = append(ipcs, res.IPC)
-		tb.AddRow(p.Abbr, res.Config, res.IPC, res.IcntCycles, res.AvgNetLatency,
+		status := res.Status
+		if status == "" {
+			status = "ok"
+		}
+		row := []interface{}{p.Abbr, res.Config, res.IPC, res.IcntCycles, res.AvgNetLatency,
 			fmt.Sprintf("%.1f%%", 100*res.MCStallFraction),
 			fmt.Sprintf("%.2f", res.DRAMEfficiency),
 			fmt.Sprintf("%.2f", res.L1HitRate),
-			fmt.Sprintf("%.2f", res.L2HitRate))
+			fmt.Sprintf("%.2f", res.L2HitRate),
+			status}
+		if *faultRate > 0 {
+			row = append(row, res.RetxPackets, res.DroppedPackets, fmt.Sprintf("%.3f", res.AvgRetries))
+		}
+		tb.AddRow(row...)
 	}
 	fmt.Print(tb)
 	if len(ipcs) > 1 {
 		fmt.Printf("harmonic mean IPC: %.2f\n", stats.HarmonicMean(ipcs))
+	}
+	if dnf > 0 {
+		fmt.Printf("%d of %d run(s) did not finish\n", dnf, len(profiles))
+		os.Exit(1)
 	}
 }
 

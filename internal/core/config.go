@@ -226,6 +226,22 @@ func (c Config) CapForBWFraction(x float64) float64 {
 	return x * c.Clocks.DRAMMHz * numMC * dramBytesPerCycle / (flitB * c.Clocks.IcntMHz)
 }
 
+// WithFaults enables the network fault injector at the given master rate
+// with its own seed (decorrelated from the traffic seed). The Name suffix
+// keeps faulty runs from sharing result-cache keys with clean ones.
+func (c Config) WithFaults(rate float64, seed uint64) Config {
+	c.Name = fmt.Sprintf("%s-f%g", c.Name, rate)
+	c.Noc.Fault = c.Noc.Fault.WithRate(rate, seed)
+	return c
+}
+
+// WithWatchdog sets the health watchdog's no-movement window in
+// interconnect cycles; 0 disables the watchdog, hop budget and audits.
+func (c Config) WithWatchdog(cycles uint64) Config {
+	c.Noc.Fault.WatchdogCycles = cycles
+	return c
+}
+
 // ScaleWork multiplies the kernel length (instructions per warp) by f, for
 // quick runs in tests and examples. f must be positive.
 func (c Config) ScaleWork(f float64) Config {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -33,6 +35,34 @@ type Result struct {
 	L1HitRate       float64
 	L2HitRate       float64
 	TimedOut        bool // hit MaxIcntCycles before completing
+
+	// Resilience outcome.
+	Status         string  // "ok", "cycle-cap", "deadlock", "livelock", "stall", "invariant"
+	RetxPackets    uint64  // wire packets re-injected by the timeout machinery
+	DroppedPackets uint64  // packets discarded by the end-to-end check
+	AvgRetries     float64 // mean retries per delivered transfer
+}
+
+// OK reports whether the run completed without a degradation verdict.
+func (r Result) OK() bool { return r.Status == "" || r.Status == "ok" }
+
+// statusOf maps a run error to the Result.Status vocabulary.
+func statusOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, fault.ErrCycleCap):
+		return "cycle-cap"
+	case errors.Is(err, fault.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, fault.ErrLivelock):
+		return "livelock"
+	case errors.Is(err, fault.ErrStall):
+		return "stall"
+	case errors.Is(err, fault.ErrInvariant):
+		return "invariant"
+	}
+	return "error"
 }
 
 // System is one assembled accelerator.
@@ -135,36 +165,56 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Run executes the kernel to completion (or the cycle cap) and returns the
-// run's statistics.
+// Run executes the kernel to completion (or until a degradation verdict)
+// and returns the run's statistics. A non-nil error is a *fault.HangError
+// (cycle cap, deadlock, livelock, system stall, invariant violation); the
+// Result is still populated so harnesses can record the degraded run.
 func Run(cfg Config) (Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	return s.Run()
 }
 
-// MustRun is Run but panics on error.
+// MustRun is Run but panics on configuration errors. Degraded runs (hang
+// verdicts from the watchdogs or the cycle cap) do not panic: the partial
+// Result comes back with its Status field set, preserving the historical
+// behaviour where timed-out runs returned a TimedOut result.
 func MustRun(cfg Config) Result {
 	r, err := Run(cfg)
-	if err != nil {
+	if err != nil && !fault.IsHang(err) {
 		panic(err)
 	}
 	return r
 }
 
-// Run drives the clock domains until the kernel completes.
-func (s *System) Run() Result {
+// stallCheckPeriod is how often (in interconnect cycles) Run feeds the
+// system-level stall watchdog.
+const stallCheckPeriod = 64
+
+// Run drives the clock domains until the kernel completes, the cycle cap
+// trips, or a health monitor declares the run degraded.
+func (s *System) Run() (Result, error) {
 	maxIcnt := s.cfg.MaxIcntCycles
 	if maxIcnt == 0 {
 		maxIcnt = defaultMaxIcntCycles
 	}
+	// The system stall watchdog backs up the network's: it watches total
+	// forward progress (instructions, memory work and flit movement), so it
+	// also catches hangs outside the network. Same window, in icnt cycles.
+	var wd *fault.Watchdog
+	if s.cfg.Noc.Fault.Monitored() {
+		wd = fault.NewWatchdog(s.cfg.Noc.Fault.WatchdogCycles)
+	}
 	buf := make([]timing.Domain, 0, 3)
+	var runErr error
 	timedOut := false
 	for !s.done() {
-		if s.sched.Cycles(timing.DomainInterconnect) >= maxIcnt {
+		icnt := s.sched.Cycles(timing.DomainInterconnect)
+		if icnt >= maxIcnt {
 			timedOut = true
+			runErr = fault.Hang(fault.ErrCycleCap, s.diagnose("cycle-cap"))
 			break
 		}
 		buf = s.sched.Step(buf)
@@ -182,8 +232,73 @@ func (s *System) Run() Result {
 				}
 			}
 		}
+		if err := s.net.Health(); err != nil {
+			runErr = err
+			break
+		}
+		if wd != nil && icnt%stallCheckPeriod == 0 &&
+			wd.Observe(icnt, s.progress(), 1) {
+			runErr = fault.Hang(fault.ErrStall, s.diagnose("stall"))
+			break
+		}
 	}
-	return s.result(timedOut)
+	res := s.result(timedOut)
+	res.Status = statusOf(runErr)
+	return res, runErr
+}
+
+// progress sums the monotonic work counters of every component: cores, MCs
+// and the network (flit hops plus the packets it has ever accepted).
+func (s *System) progress() uint64 {
+	var total uint64
+	for _, c := range s.cores {
+		total += c.Progress()
+	}
+	for _, mc := range s.mcs {
+		total += mc.Progress()
+	}
+	ns := s.net.Stats()
+	total += ns.FlitHops
+	for _, v := range ns.EjectedFlits {
+		total += v
+	}
+	return total
+}
+
+// diagnose builds the system-level diagnostic for a cycle-cap or stall
+// verdict: per-component work snapshots, plus the network's own dump when
+// it has one.
+func (s *System) diagnose(kind string) *fault.Diagnostic {
+	d := &fault.Diagnostic{
+		Kind:  kind,
+		Cycle: s.sched.Cycles(timing.DomainInterconnect),
+	}
+	coresDone := 0
+	for _, c := range s.cores {
+		if c.Done() {
+			coresDone++
+		}
+	}
+	mcsBusy := 0
+	for _, mc := range s.mcs {
+		if mc.Busy() {
+			mcsBusy++
+		}
+	}
+	d.Notes = append(d.Notes,
+		fmt.Sprintf("%d/%d cores done, %d/%d MCs busy, network quiet=%v",
+			coresDone, len(s.cores), mcsBusy, len(s.mcs), s.net.Quiet()))
+	d.Notes = append(d.Notes, fmt.Sprintf("total progress counter %d", s.progress()))
+	if nd, ok := s.net.(interface{ Diagnostics() *fault.Diagnostic }); ok {
+		if sub := nd.Diagnostics(); sub != nil {
+			d.VCs = append(d.VCs, sub.VCs...)
+			d.Notes = append(d.Notes, sub.Notes...)
+		}
+	}
+	if !s.net.Quiet() {
+		d.InFlight = 1 // at least the network holds work; exact count is its own
+	}
+	return d
 }
 
 // icntTick runs one interconnect cycle: core requests enter the network,
@@ -289,6 +404,9 @@ func (s *System) result(timedOut bool) Result {
 	ns := s.net.Stats()
 	res.AvgNetLatency = ns.NetLatency.Value()
 	res.AcceptedBytes = ns.AcceptedBytesPerCycle()
+	res.RetxPackets = ns.Retransmits
+	res.DroppedPackets = ns.DroppedPackets
+	res.AvgRetries = ns.RetriesPerPacket.Mean()
 	for _, node := range s.mcNodes {
 		res.MCInjRate += ns.InjectionRate(node)
 	}

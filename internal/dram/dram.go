@@ -146,15 +146,17 @@ func MustNewController(cfg Config, mapper *addr.Mapper) *Controller {
 // CanAccept reports whether the request queue has a free entry.
 func (c *Controller) CanAccept() bool { return len(c.queue) < c.cfg.QueueCapacity }
 
-// Enqueue adds a request. It panics if the queue is full; callers must check
-// CanAccept first (the NoC ejection path stalls when the queue is full).
-func (c *Controller) Enqueue(req Request) {
+// Enqueue adds a request, reporting whether the queue accepted it. A full
+// queue refuses the request (returns false) and the caller applies
+// backpressure — the NoC ejection path stalls until a slot frees up.
+func (c *Controller) Enqueue(req Request) bool {
 	if !c.CanAccept() {
-		panic("dram: Enqueue on full queue")
+		return false
 	}
 	br := c.mapper.Decode(req.Addr)
 	c.queue = append(c.queue, queued{req: req, bank: br.Bank % uint64(c.cfg.NumBanks), row: br.Row, entry: c.nextID})
 	c.nextID++
+	return true
 }
 
 // QueueLen returns the current queue occupancy.

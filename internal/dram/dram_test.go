@@ -130,17 +130,19 @@ func TestQueueCapacity(t *testing.T) {
 		if !c.CanAccept() {
 			t.Fatalf("queue refused entry %d", i)
 		}
-		c.Enqueue(Request{Addr: addr.Address(i * 64 * 8)})
+		if !c.Enqueue(Request{Addr: addr.Address(i * 64 * 8)}) {
+			t.Fatalf("queue with space rejected entry %d", i)
+		}
 	}
 	if c.CanAccept() {
 		t.Error("queue should be full at 32 entries")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Enqueue on full queue should panic")
-		}
-	}()
-	c.Enqueue(Request{})
+	if c.Enqueue(Request{}) {
+		t.Error("full queue accepted a request instead of applying backpressure")
+	}
+	if c.QueueLen() != 32 {
+		t.Errorf("refused enqueue changed queue length to %d", c.QueueLen())
+	}
 }
 
 func TestEfficiencyHigherForSequential(t *testing.T) {

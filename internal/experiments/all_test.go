@@ -31,8 +31,9 @@ func TestAllExperimentsRun(t *testing.T) {
 		}
 	}
 	// The All() helper must cover every ID except itself.
-	if got := len(s.All()); got != len(IDs())-1 {
-		// All() runs the paper-order experiments; ablation is extra.
-		t.Errorf("All() returned %d reports, want %d", got, len(IDs())-1)
+	if got := len(s.All()); got != len(IDs())-2 {
+		// All() runs the paper-order experiments; ablation and resilience
+		// are extras.
+		t.Errorf("All() returned %d reports, want %d", got, len(IDs())-2)
 	}
 }

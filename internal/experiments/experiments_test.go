@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // quickSuite runs three benchmarks (one per class) at a small scale; it
@@ -108,8 +111,34 @@ func TestByIDAndIDs(t *testing.T) {
 	if !strings.Contains(rep.String(), "Baseline") {
 		t.Error("table6 missing baseline row")
 	}
-	if len(IDs()) != 16 {
-		t.Errorf("IDs() lists %d experiments, want 16", len(IDs()))
+	if len(IDs()) != 17 {
+		t.Errorf("IDs() lists %d experiments, want 17", len(IDs()))
+	}
+}
+
+func TestSuiteRecordsDNF(t *testing.T) {
+	s := quickSuite(t)
+	p, err := workload.ByAbbr("MUM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Baseline(p)
+	cfg.Name = "capped"
+	cfg.MaxIcntCycles = 200 // far too few: must hit the cycle cap
+	r := s.run(cfg)
+	if r.OK() {
+		t.Fatalf("capped run reported status %q", r.Status)
+	}
+	dnf := s.DNF()
+	if len(dnf) != 1 || !strings.Contains(dnf[0], "capped|MUM: cycle-cap") {
+		t.Fatalf("DNF rows = %v, want one capped|MUM cycle-cap entry", dnf)
+	}
+	// The degraded result is cached like any other: re-running must not
+	// simulate again or duplicate the DNF record.
+	before := len(s.cache)
+	_ = s.run(cfg)
+	if len(s.cache) != before || len(s.DNF()) != 1 {
+		t.Error("cached DNF re-ran or duplicated")
 	}
 }
 

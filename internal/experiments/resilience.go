@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// resilienceRates is the fault-rate sweep: clean, then three decades up to
+// one corrupted-flit chance per hundred link traversals.
+var resilienceRates = []float64{0, 1e-4, 1e-3, 1e-2}
+
+// resilienceBench picks one light (LL) and one heavy (HH) benchmark from the
+// suite's set, so the sweep covers both a latency-sensitive and a
+// bandwidth-saturated workload without running all 31 benchmarks four times.
+func (s *Suite) resilienceBench() []workload.Profile {
+	var out []workload.Profile
+	for _, class := range []string{"LL", "HH"} {
+		for _, p := range s.bench {
+			if p.Class == class {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		n := len(s.bench)
+		if n > 2 {
+			n = 2
+		}
+		out = s.bench[:n]
+	}
+	return out
+}
+
+// Resilience is this repository's robustness experiment (not in the paper):
+// it sweeps the network fault injector's master rate and reports how much
+// application throughput the end-to-end retransmission layer retains, for
+// the baseline mesh and the checkerboard design. Runs that wedge or hit the
+// cycle cap appear as DNF rows with their degradation status instead of
+// aborting the sweep.
+func (s *Suite) Resilience() *Report {
+	tb := stats.NewTable("Resilience: IPC retention under injected network faults",
+		"bench", "config", "fault rate", "IPC", "rel IPC", "retx pkts", "dropped", "avg retries", "status")
+
+	configs := []struct {
+		name string
+		mk   func(workload.Profile) core.Config
+	}{
+		{"TB-DOR", func(p workload.Profile) core.Config { return core.Baseline(p) }},
+		{"CP-CR", func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardRouting() }},
+	}
+	bench := s.resilienceBench()
+	worstRate := resilienceRates[len(resilienceRates)-1]
+
+	var summary []string
+	for _, c := range configs {
+		var retained []float64
+		for _, p := range bench {
+			base := s.run(c.mk(p))
+			for _, rate := range resilienceRates {
+				r := base
+				if rate > 0 {
+					cfg := c.mk(p).WithFaults(rate, 13)
+					// A tight retransmission deadline keeps recovery fast
+					// relative to the scaled-down kernels used in sweeps.
+					cfg.Noc.Fault.RetxTimeout = 512
+					r = s.run(cfg)
+				}
+				rel := "-"
+				if r.OK() && base.OK() && base.IPC > 0 {
+					frac := r.IPC / base.IPC
+					rel = fmt.Sprintf("%.3f", frac)
+					if rate == worstRate {
+						retained = append(retained, frac)
+					}
+				}
+				status := r.Status
+				if status == "" {
+					status = "ok"
+				}
+				tb.AddRow(p.Abbr, c.name, fmt.Sprintf("%g", rate), r.IPC, rel,
+					r.RetxPackets, r.DroppedPackets, fmt.Sprintf("%.3f", r.AvgRetries), status)
+			}
+		}
+		if len(retained) > 0 {
+			summary = append(summary, fmt.Sprintf(
+				"%s retains %.1f%% of fault-free IPC at fault rate %g (hmean of %d benchmarks)",
+				c.name, 100*stats.HarmonicMean(retained), worstRate, len(retained)))
+		} else {
+			summary = append(summary, fmt.Sprintf(
+				"%s: no benchmark finished at fault rate %g (see DNF rows)", c.name, worstRate))
+		}
+	}
+	if dnf := s.DNF(); len(dnf) > 0 {
+		summary = append(summary, fmt.Sprintf("%d run(s) did not finish: %v", len(dnf), dnf))
+	} else {
+		summary = append(summary, "all faulty runs recovered: no deadlock, livelock or cycle-cap DNFs")
+	}
+	return &Report{
+		ID:      "resilience",
+		Title:   "IPC degradation vs injected fault rate (end-to-end retransmission active)",
+		Table:   tb,
+		Summary: summary,
+	}
+}

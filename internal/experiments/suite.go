@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -52,6 +53,7 @@ type Suite struct {
 	opts  Options
 	bench []workload.Profile
 	cache map[string]core.Result
+	dnf   map[string]core.Result // degraded runs, keyed like cache
 }
 
 // New builds a suite.
@@ -72,7 +74,8 @@ func New(opts Options) (*Suite, error) {
 			bench = append(bench, p)
 		}
 	}
-	return &Suite{opts: opts, bench: bench, cache: make(map[string]core.Result)}, nil
+	return &Suite{opts: opts, bench: bench,
+		cache: make(map[string]core.Result), dnf: make(map[string]core.Result)}, nil
 }
 
 // MustNew is New but panics on error.
@@ -87,29 +90,52 @@ func MustNew(opts Options) *Suite {
 // Benchmarks returns the profiles the suite runs.
 func (s *Suite) Benchmarks() []workload.Profile { return s.bench }
 
-// run executes (or recalls) one closed-loop simulation.
+// run executes (or recalls) one closed-loop simulation. A degraded run
+// (cycle cap, deadlock, stall) does not abort the suite: the partial result
+// is cached with its Status set and recorded as a DNF, so the remaining
+// benchmarks still run and the report marks the failure.
 func (s *Suite) run(cfg core.Config) core.Result {
 	key := cfg.Name + "|" + cfg.Workload.Abbr
 	if r, ok := s.cache[key]; ok {
 		return r
 	}
-	r := core.MustRun(cfg.ScaleWork(s.opts.Scale))
-	if r.TimedOut {
-		panic(fmt.Sprintf("experiments: %s on %s hit the cycle cap", cfg.Name, cfg.Workload.Abbr))
-	}
-	if s.opts.Progress != nil {
+	r, err := core.Run(cfg.ScaleWork(s.opts.Scale))
+	if err != nil {
+		if !fault.IsHang(err) {
+			panic(fmt.Sprintf("experiments: %s on %s: %v", cfg.Name, cfg.Workload.Abbr, err))
+		}
+		s.dnf[key] = r
+		if s.opts.Progress != nil {
+			fmt.Fprintf(s.opts.Progress, "DNF %-16s %-4s %s\n", cfg.Name, cfg.Workload.Abbr, r.Status)
+		}
+	} else if s.opts.Progress != nil {
 		fmt.Fprintf(s.opts.Progress, "ran %-16s %-4s IPC=%.1f\n", cfg.Name, cfg.Workload.Abbr, r.IPC)
 	}
 	s.cache[key] = r
 	return r
 }
 
+// DNF lists the degraded runs as "config|bench: status" lines, sorted.
+func (s *Suite) DNF() []string {
+	out := make([]string, 0, len(s.dnf))
+	for key, r := range s.dnf {
+		out = append(out, fmt.Sprintf("%s: %s", key, r.Status))
+	}
+	sort.Strings(out)
+	return out
+}
+
 // speedups computes per-benchmark IPC ratios between two config builders.
+// Benchmarks where either side did not finish are skipped: a DNF's partial
+// IPC would corrupt the harmonic-mean aggregates.
 func (s *Suite) speedups(baseCfg, newCfg func(workload.Profile) core.Config) map[string]float64 {
 	out := make(map[string]float64, len(s.bench))
 	for _, p := range s.bench {
 		base := s.run(baseCfg(p))
 		alt := s.run(newCfg(p))
+		if !base.OK() || !alt.OK() {
+			continue
+		}
 		out[p.Abbr] = alt.IPC / base.IPC
 	}
 	return out

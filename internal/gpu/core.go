@@ -121,8 +121,9 @@ type Core struct {
 	outQ          []MemRequest
 	issueCooldown int
 
-	flushed bool
-	stats   Stats
+	flushed  bool
+	stats    Stats
+	progress uint64 // monotonic work counter for the system stall watchdog
 }
 
 type memAccess struct {
@@ -198,6 +199,7 @@ func (c *Core) issue() {
 			c.rrNext = (w + 1) % n
 		}
 		c.issueCooldown = c.cfg.WarpSize/c.cfg.SIMDWidth - 1
+		c.progress++
 		c.stats.WarpInstrs++
 		c.stats.ScalarInstrs += uint64(ins.ActiveThreads)
 		switch {
@@ -273,6 +275,7 @@ func (c *Core) memoryUnit() {
 		c.stats.MemStallFull++
 		return
 	}
+	c.progress++
 	c.memQ = c.memQ[:copy(c.memQ, c.memQ[1:])]
 }
 
@@ -306,6 +309,7 @@ func (c *Core) tryAccess(acc memAccess) bool {
 
 // DeliverFill completes an in-flight line fetch (a read reply arrived).
 func (c *Core) DeliverFill(line addr.Address) {
+	c.progress++
 	victim, wb := c.l1.Fill(line, c.pendingStores[line])
 	delete(c.pendingStores, line)
 	if wb {
@@ -360,6 +364,11 @@ func (c *Core) Done() bool {
 	return c.gen.AllDone() && c.allWarpsIdle() && len(c.memQ) == 0 &&
 		c.flushed && len(c.outQ) == 0 && c.mshr.InFlight() == 0
 }
+
+// Progress returns a monotonic counter of forward progress (instructions
+// issued, L1 accesses completed, fills delivered). The system stall
+// watchdog compares it across cycles to detect a wedged machine.
+func (c *Core) Progress() uint64 { return c.progress }
 
 // Stats returns the activity counters.
 func (c *Core) Stats() Stats { return c.stats }

@@ -88,7 +88,8 @@ type MCNode struct {
 	replyQ []timedReply // ready to inject
 	writeQ []addr.Address
 
-	stats Stats
+	stats    Stats
+	progress uint64 // monotonic work counter for the system stall watchdog
 }
 
 // New builds an MC node at the given mesh tile.
@@ -131,6 +132,7 @@ func (m *MCNode) AcceptRequest(pkt *noc.Packet) {
 		panic(fmt.Sprintf("mem: packet %d has no Request payload", pkt.ID))
 	}
 	m.inQ = append(m.inQ, pkt)
+	m.progress++
 }
 
 // TickIcnt advances the MC by one interconnect cycle: one L2 bank access,
@@ -176,18 +178,18 @@ func (m *MCNode) serviceOne(cycle uint64) {
 			return // retry next cycle
 		}
 	} else {
-		if m.l2mshr.Full() || !m.ctl.CanAccept() {
+		if m.l2mshr.Full() || !m.ctl.Enqueue(dram.Request{Addr: req.Line, Meta: req.Line}) {
 			m.stats.Requests--
-			return // retry next cycle
+			return // DRAM queue backpressure; retry next cycle
 		}
 		m.l2mshr.Allocate(req.Line, cache.Waiter(pkt.Src))
-		m.ctl.Enqueue(dram.Request{Addr: req.Line, Meta: req.Line})
 	}
 	m.popInQ()
 }
 
 func (m *MCNode) popInQ() {
 	m.inQ = m.inQ[:copy(m.inQ, m.inQ[1:])]
+	m.progress++
 }
 
 // promoteHits moves matured L2 hits into the reply queue.
@@ -222,6 +224,7 @@ func (m *MCNode) injectReplies(cycle uint64, net noc.Network) {
 			return
 		}
 		m.stats.RepliesInjected++
+		m.progress++
 		m.replyQ = m.replyQ[:copy(m.replyQ, m.replyQ[1:])]
 	}
 }
@@ -229,11 +232,12 @@ func (m *MCNode) injectReplies(cycle uint64, net noc.Network) {
 // TickDRAM advances the GDDR3 channel one DRAM clock: completed reads fill
 // the L2 and produce replies; pending write-backs drain into the channel.
 func (m *MCNode) TickDRAM() {
-	for len(m.writeQ) > 0 && m.ctl.CanAccept() {
-		m.ctl.Enqueue(dram.Request{Addr: m.writeQ[0], IsWrite: true})
+	for len(m.writeQ) > 0 && m.ctl.Enqueue(dram.Request{Addr: m.writeQ[0], IsWrite: true}) {
 		m.writeQ = m.writeQ[:copy(m.writeQ, m.writeQ[1:])]
+		m.progress++
 	}
 	for _, done := range m.ctl.Tick() {
+		m.progress++
 		if done.IsWrite {
 			continue
 		}
@@ -252,6 +256,11 @@ func (m *MCNode) Busy() bool {
 	return len(m.inQ) > 0 || len(m.hitQ) > 0 || len(m.replyQ) > 0 ||
 		len(m.writeQ) > 0 || m.ctl.Busy() || m.l2mshr.InFlight() > 0
 }
+
+// Progress returns a monotonic counter of work the MC has completed
+// (requests accepted and consumed, replies injected, DRAM commands
+// finished). The system stall watchdog compares it across cycles.
+func (m *MCNode) Progress() uint64 { return m.progress }
 
 // Stats returns the MC counters.
 func (m *MCNode) Stats() Stats { return m.stats }

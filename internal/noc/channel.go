@@ -20,11 +20,17 @@ func (c *channel) send(f Flit, due uint64) {
 
 // deliver moves all arrived flits into the destination input buffers.
 // Flits are queued in send order and due values are monotonic per channel,
-// so delivery preserves order.
+// so delivery preserves order. Each delivery is the link fault model's
+// strike point: a corrupted flit still occupies its buffer slot and flows
+// on (flow control acknowledges it), but poisons its packet for the
+// end-to-end check at the ejection interface.
 func (c *channel) deliver(cycle uint64) {
 	n := 0
 	for _, ev := range c.q {
 		if ev.due <= cycle {
+			if fs := c.dst.net.fs; fs != nil {
+				fs.corruptDelivery(c.dst.net, &ev.flit)
+			}
 			c.dst.acceptFlit(c.dstPort, ev.flit, cycle)
 			n++
 		} else {
@@ -50,21 +56,27 @@ type creditChannel struct {
 	q       []creditEvent
 }
 
+// send queues one credit. A credit-loss fault delays it by the resync
+// window instead of destroying it, so credit conservation holds at
+// quiescence and the invariant checks stay valid.
 func (c *creditChannel) send(vc int, due uint64) {
+	if fs := c.dst.net.fs; fs != nil {
+		due += fs.delayCredit(c.dst.net)
+	}
 	c.q = append(c.q, creditEvent{vc: vc, due: due})
 }
 
+// deliver returns all due credits. Resync-delayed credits make due values
+// non-monotonic, so the whole queue is scanned; credits on one VC are
+// fungible, and the scan order is the deterministic send order.
 func (c *creditChannel) deliver(cycle uint64) {
-	n := 0
+	kept := c.q[:0]
 	for _, ev := range c.q {
 		if ev.due <= cycle {
 			c.dst.acceptCredit(c.dstPort, ev.vc)
-			n++
 		} else {
-			break
+			kept = append(kept, ev)
 		}
 	}
-	if n > 0 {
-		c.q = c.q[:copy(c.q, c.q[n:])]
-	}
+	c.q = kept
 }

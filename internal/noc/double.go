@@ -41,6 +41,7 @@ func newDouble(cfg Config, balanced bool) (*Double, error) {
 		sub.FlitBytes = cfg.FlitBytes / 2
 		sub.SplitClasses = balanced
 		sub.Seed = cfg.Seed + uint64(c)
+		sub.Fault.Seed = cfg.Fault.Seed + uint64(c) // decorrelate the slices' fault streams
 		m, err := NewMesh(sub)
 		if err != nil {
 			return nil, err
@@ -119,6 +120,16 @@ func (d *Double) Cycle() uint64 { return d.nets[0].Cycle() }
 // Quiet reports whether both slices are empty.
 func (d *Double) Quiet() bool { return d.nets[0].Quiet() && d.nets[1].Quiet() }
 
+// Health returns the first slice's verdict that is non-nil.
+func (d *Double) Health() error {
+	for _, n := range d.nets {
+		if err := n.Health(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Stats merges both slices' counters into a fresh snapshot.
 func (d *Double) Stats() *NetStats {
 	a, b := d.nets[0].Stats(), d.nets[1].Stats()
@@ -135,6 +146,15 @@ func (d *Double) Stats() *NetStats {
 	for c := range merged.LatencyByClass {
 		merged.LatencyByClass[c] = a.LatencyByClass[c].Merge(b.LatencyByClass[c])
 	}
+	merged.CorruptFlits = a.CorruptFlits + b.CorruptFlits
+	merged.DroppedPackets = a.DroppedPackets + b.DroppedPackets
+	merged.DroppedFlits = a.DroppedFlits + b.DroppedFlits
+	merged.DuplicatePackets = a.DuplicatePackets + b.DuplicatePackets
+	merged.Retransmits = a.Retransmits + b.Retransmits
+	merged.LostPackets = a.LostPackets + b.LostPackets
+	merged.LostCredits = a.LostCredits + b.LostCredits
+	merged.StuckVCFaults = a.StuckVCFaults + b.StuckVCFaults
+	merged.RetriesPerPacket = a.RetriesPerPacket.Merge(b.RetriesPerPacket)
 	return merged
 }
 

@@ -117,3 +117,7 @@ func (n *Ideal) Quiet() bool { return n.active == 0 }
 
 // Stats returns the counters.
 func (n *Ideal) Stats() *NetStats { return &n.stats }
+
+// Health always reports sound: the ideal network models no faults and
+// cannot deadlock.
+func (n *Ideal) Health() error { return nil }

@@ -100,6 +100,7 @@ func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
 	ni.rtr.injectFlit(port, f, cycle)
 	w.next++
 	ni.net.stats.InjectedFlits[ni.node]++
+	ni.net.moveCount++
 	if w.next == len(w.flits) {
 		ni.writers[port][w.vc] = nil
 	}
@@ -111,6 +112,7 @@ func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
 func (ni *netIface) ejectStep(cycle uint64) {
 	ni.rtr.drainEjected(cycle, func(f Flit) {
 		ni.net.stats.EjectedFlits[ni.node]++
+		ni.net.moveCount++
 		pkt := f.Pkt
 		got := ni.asm[pkt.ID] + 1
 		if got < pkt.flits {
@@ -119,8 +121,11 @@ func (ni *netIface) ejectStep(cycle uint64) {
 		}
 		delete(ni.asm, pkt.ID)
 		pkt.ArrivedAt = cycle
-		ni.delivered = append(ni.delivered, pkt)
 		ni.net.active--
+		if ni.net.fs != nil && !ni.net.fs.onAssembled(ni.net, pkt) {
+			return // failed the end-to-end check: corrupt, duplicate or lost
+		}
+		ni.delivered = append(ni.delivered, pkt)
 		st := &ni.net.stats
 		st.NetLatency.Add(float64(pkt.NetworkLatency()))
 		st.TotalLatency.Add(float64(pkt.TotalLatency()))

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -27,6 +28,9 @@ type Network interface {
 	Quiet() bool
 	// Stats exposes aggregate counters.
 	Stats() *NetStats
+	// Health returns nil while the network is sound, or a sticky
+	// *fault.HangError once the deadlock/livelock/invariant monitors trip.
+	Health() error
 }
 
 // NetStats aggregates network activity.
@@ -40,6 +44,17 @@ type NetStats struct {
 	NetLatency      stats.Mean // head injection -> tail ejection
 	TotalLatency    stats.Mean // includes source queueing
 	LatencyByClass  [NumClasses]stats.Mean
+
+	// Fault-injection and resilience counters (all zero when faults are off).
+	CorruptFlits     uint64 // flit deliveries struck by a link fault
+	DroppedPackets   uint64 // packets failing the end-to-end check at ejection
+	DroppedFlits     uint64 // flits belonging to dropped packets
+	DuplicatePackets uint64 // late copies of already-delivered transfers
+	Retransmits      uint64 // wire packets re-injected by the timeout
+	LostPackets      uint64 // transfers abandoned after MaxRetries
+	LostCredits      uint64 // credits delayed by the resync protocol
+	StuckVCFaults    uint64 // stuck-VC faults placed
+	RetriesPerPacket stats.IntDist // retries per delivered transfer
 }
 
 // InjectionRate returns node n's injection rate in flits/cycle.
@@ -95,6 +110,7 @@ type Config struct {
 	SrcQueueCap      int         // source queue capacity per class, packets
 	EjQueueCap       int         // ejection queue capacity, flits
 	Seed             uint64
+	Fault            fault.Config // fault injection + health monitoring policy
 }
 
 // DefaultConfig returns the paper's baseline mesh (Tables II/III): 6×6,
@@ -119,6 +135,7 @@ func DefaultConfig() Config {
 		SrcQueueCap:      8,
 		EjQueueCap:       8,
 		Seed:             1,
+		Fault:            fault.DefaultConfig(),
 	}
 }
 
@@ -183,6 +200,16 @@ type meshNet struct {
 	stats     NetStats
 	active    int
 	nextPkt   uint64
+
+	// Resilience machinery (see resilience.go). fs is nil at fault rate 0,
+	// wd is nil with the watchdog disabled; both nil-paths leave behaviour
+	// bit-identical to a build without the subsystem.
+	fs         *faultState
+	wd         *fault.Watchdog
+	health     *fault.HangError
+	moveCount  uint64 // monotonic flit-movement counter for the watchdog
+	hopBudget  int    // livelock bound, switch traversals per wire packet
+	auditEvery uint64 // flit-conservation audit period
 }
 
 // NewMesh validates cfg and builds the network.
@@ -213,8 +240,25 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
 	m := &Mesh{meshNet{cfg: cfg, topo: topo, vcs: plan, rng: xrand.New(cfg.Seed)}}
 	n := &m.meshNet
+	if cfg.Fault.Enabled() {
+		n.fs = newFaultState(cfg.Fault)
+	}
+	if cfg.Fault.Monitored() {
+		n.wd = fault.NewWatchdog(cfg.Fault.WatchdogCycles)
+		n.hopBudget = cfg.Fault.HopBudget
+		if n.hopBudget <= 0 {
+			n.hopBudget = 16 * (cfg.Width + cfg.Height)
+		}
+		n.auditEvery = cfg.Fault.AuditCycles
+		if n.auditEvery == 0 {
+			n.auditEvery = cfg.Fault.WatchdogCycles / 4
+		}
+	}
 	nNodes := topo.NumNodes()
 	n.stats.InjectedFlits = make([]uint64, nNodes)
 	n.stats.InjectedPackets = make([]uint64, nNodes)
@@ -290,8 +334,11 @@ func (n *meshNet) Cycle() uint64 { return n.cycle }
 // Stats returns the live counters.
 func (n *meshNet) Stats() *NetStats { return &n.stats }
 
-// Quiet reports whether the network holds no packets.
-func (n *meshNet) Quiet() bool { return n.active == 0 }
+// Quiet reports whether the network holds no packets and no transfer is
+// awaiting a retransmission timeout.
+func (n *meshNet) Quiet() bool {
+	return n.active == 0 && (n.fs == nil || n.fs.pending == 0)
+}
 
 // CanInject reports source-queue space for class at node.
 func (n *meshNet) CanInject(node NodeID, class TrafficClass) bool {
@@ -318,6 +365,9 @@ func (n *meshNet) TryInject(p *Packet) bool {
 	ni := n.nis[p.Src]
 	ni.srcQ[p.Class] = append(ni.srcQ[p.Class], p)
 	n.active++
+	if n.fs != nil {
+		n.fs.onInject(n, p)
+	}
 	return true
 }
 
@@ -332,6 +382,9 @@ func (n *meshNet) Delivered(node NodeID) []*Packet {
 // Tick advances one network cycle.
 func (n *meshNet) Tick() {
 	n.cycle++
+	if n.fs != nil {
+		n.fs.tick(n)
+	}
 	for _, ch := range n.flitChans {
 		ch.deliver(n.cycle)
 	}
@@ -348,4 +401,5 @@ func (n *meshNet) Tick() {
 		ni.ejectStep(n.cycle)
 	}
 	n.stats.Cycles++
+	n.observeHealth()
 }

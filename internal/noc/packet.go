@@ -55,7 +55,22 @@ type Packet struct {
 	ArrivedAt  uint64 // when the last flit was ejected
 
 	flits int // cached flit count
+
+	// Resilience state (used only when fault injection is enabled).
+	lid     uint64 // logical transfer id: wire ID of the first attempt
+	attempt int    // 1-based transmission attempt this wire packet carries
+	corrupt bool   // a link fault struck a flit; discard at the ejection NI
+	hops    int    // switch traversals so far, for the livelock budget
 }
+
+// Attempt returns which end-to-end transmission attempt this wire packet
+// was (1 = original injection, 0 = fault injection disabled).
+func (p *Packet) Attempt() int { return p.attempt }
+
+// Corrupt reports whether a link fault struck one of the packet's flits;
+// such packets fail their end-to-end check and are dropped at the ejection
+// network interface, to be recovered by retransmission.
+func (p *Packet) Corrupt() bool { return p.corrupt }
 
 // NetworkLatency is the in-network latency (head injection to tail arrival).
 func (p *Packet) NetworkLatency() uint64 { return p.ArrivedAt - p.InjectedAt }

@@ -75,6 +75,10 @@ type router struct {
 
 	ejQ [][]flitEvent // per ejection port
 
+	// stuck[port][vc] holds the cycle until which a stuck-VC fault freezes
+	// that input VC's switch allocation; nil when faults are disabled.
+	stuck [][]uint64
+
 	// Round-robin pointers.
 	vaPtr    []int // per outPort*numVCs+outVC, over input index
 	saInPtr  []int // per input port, over VCs
@@ -113,6 +117,12 @@ func newRouter(p routerParams, net *meshNet) *router {
 	r.saOutPtr = make([]int, r.nOut)
 	r.vaReqs = make(map[int][]int)
 	r.saReqs = make(map[int][]int)
+	if net != nil && net.fs != nil {
+		r.stuck = make([][]uint64, r.nIn)
+		for i := range r.stuck {
+			r.stuck[i] = make([]uint64, p.numVCs)
+		}
+	}
 	return r
 }
 
@@ -261,7 +271,14 @@ func (r *router) switchAllocate(cycle uint64) {
 		out := r.inputs[in][v].outPort
 		reqs[out] = append(reqs[out], r.inIdx(in, v))
 	}
-	for out, bidders := range reqs {
+	// Grant in output-port order, not map order: traverse draws from the
+	// fault RNG (credit-loss per send), so the iteration order must be
+	// deterministic for equal-seeded runs to stay bit-identical.
+	for out := 0; out < r.nOut; out++ {
+		bidders := reqs[out]
+		if len(bidders) == 0 {
+			continue
+		}
 		winner := pickRR(bidders, &r.saOutPtr[out])
 		r.traverse(winner/r.p.numVCs, winner%r.p.numVCs, cycle)
 	}
@@ -276,6 +293,9 @@ func (r *router) pickSAInput(in int, cycle uint64) (int, bool) {
 		ivc := &r.inputs[in][v]
 		if ivc.state != vcActive || ivc.readyAt > cycle || len(ivc.buf) == 0 {
 			continue
+		}
+		if r.stuck != nil && r.stuck[in][v] > cycle {
+			continue // transient stuck-VC fault freezes this VC's allocation
 		}
 		if !r.outputReady(ivc.outPort, ivc.outVC) {
 			continue
@@ -309,6 +329,10 @@ func (r *router) traverse(in, v int, cycle uint64) {
 		r.ejQ[op-int(numDirs)] = append(r.ejQ[op-int(numDirs)], flitEvent{flit: f, due: cycle + r.stD})
 	}
 	r.net.stats.FlitHops++
+	r.net.moveCount++
+	if f.Head {
+		r.net.noteHop(f.Pkt)
+	}
 	// Return the freed buffer slot upstream (direction inputs only; the
 	// network interface reads injection buffer occupancy directly).
 	if in < int(numDirs) && r.credChans[in] != nil {

@@ -92,6 +92,74 @@ func (r *Ratio) Value() float64 {
 	return float64(r.Hits) / float64(r.Total)
 }
 
+// IntDist accumulates small non-negative integer samples — per-packet
+// retry counts, hop counts — keeping exact per-value counts for the low
+// values and an overflow tally above Cap.
+type IntDist struct {
+	counts [16]uint64 // counts[v] for v in [0,15]
+	over   uint64     // samples above 15
+	n      uint64
+	sum    uint64
+	max    int
+}
+
+// Add records one sample (negative values clamp to 0).
+func (d *IntDist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	d.n++
+	d.sum += uint64(v)
+	if v > d.max {
+		d.max = v
+	}
+	if v < len(d.counts) {
+		d.counts[v]++
+	} else {
+		d.over++
+	}
+}
+
+// N returns the number of samples.
+func (d *IntDist) N() uint64 { return d.n }
+
+// Sum returns the running total.
+func (d *IntDist) Sum() uint64 { return d.sum }
+
+// Max returns the largest sample seen (0 when empty).
+func (d *IntDist) Max() int { return d.max }
+
+// Count returns how many samples equalled v exactly (0 for v > 15).
+func (d *IntDist) Count(v int) uint64 {
+	if v < 0 || v >= len(d.counts) {
+		return 0
+	}
+	return d.counts[v]
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *IntDist) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.n)
+}
+
+// Merge returns an IntDist combining the samples of d and o.
+func (d IntDist) Merge(o IntDist) IntDist {
+	out := d
+	for i := range out.counts {
+		out.counts[i] += o.counts[i]
+	}
+	out.over += o.over
+	out.n += o.n
+	out.sum += o.sum
+	if o.max > out.max {
+		out.max = o.max
+	}
+	return out
+}
+
 // Histogram is a fixed-width bucket histogram with an overflow bucket,
 // used for packet-latency distributions.
 type Histogram struct {
