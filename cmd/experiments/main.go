@@ -2,23 +2,43 @@
 // figures. Each figure/table has an identifier (fig2..fig21, table6,
 // headline); "all" runs the full evaluation in paper order.
 //
+// Simulations run through a resilient worker pool: -jobs bounds
+// concurrency (tables are byte-identical for any value), -run-timeout
+// turns wedged runs into DNF rows, -retries re-attempts transient
+// failures, and -checkpoint/-resume journal finished runs so an
+// interrupted sweep (SIGINT/SIGTERM included) picks up where it left off.
+//
 // Usage:
 //
-//	experiments [-scale f] [-bench AES,MUM,...] [-v] all|fig7|table6|...
+//	experiments [-scale f] [-bench AES,MUM,...] [-jobs N] [-run-timeout d]
+//	            [-checkpoint file [-resume]] [-v] all|fig7|table6|...
+//
+// Exit status: 0 on a clean sweep, 1 when any run did not finish (so CI
+// catches silently degraded sweeps), 130 when interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "kernel length scale (lower = faster, less accurate)")
 	bench := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all 31)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
+	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
+	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
+	resume := flag.Bool("resume", false, "reload -checkpoint and skip finished runs")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] %s|all\n", strings.Join(experiments.IDs(), "|"))
@@ -29,8 +49,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs -checkpoint")
+		os.Exit(2)
+	}
 
-	opts := experiments.Options{Scale: *scale}
+	// SIGINT/SIGTERM cancel the sweep: in-flight runs finish as
+	// "canceled" DNFs, the journal is already fsynced per record, and we
+	// exit with a partial-progress summary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.Options{
+		Scale:      *scale,
+		Jobs:       *jobs,
+		RunTimeout: *runTimeout,
+		Retries:    *retries,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Context:    ctx,
+	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -42,23 +80,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *resume {
+		if n := suite.SkippedJournalLines(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: skipped %d corrupt checkpoint line(s); those runs re-execute\n", n)
+		}
+	}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
+	start := time.Now()
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
 		rep, err := suite.ByID(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
+			suite.Close()
 			os.Exit(1)
 		}
 		fmt.Println(rep)
 	}
-	if dnf := suite.DNF(); len(dnf) > 0 {
+
+	// Closing summary: per-status outcome counts, attempt accounting and
+	// the DNF rows excluded from the aggregates.
+	var outcomes stats.Outcomes
+	for _, o := range suite.Outcomes() {
+		outcomes.Observe(o.Result.Status, o.Attempts)
+	}
+	dnf := suite.DNF()
+	if outcomes.Total() > 0 {
+		fmt.Printf("%s in %.0fs (%d simulated here)\n",
+			outcomes.Summary(), time.Since(start).Seconds(), suite.Executed())
+	}
+	if len(dnf) > 0 {
 		fmt.Printf("%d run(s) did not finish (excluded from aggregates):\n", len(dnf))
 		for _, line := range dnf {
 			fmt.Println("  " + line)
 		}
+	}
+	if err := suite.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: checkpoint:", err)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		where := ""
+		if *checkpoint != "" {
+			where = fmt.Sprintf("; resume with -checkpoint %s -resume", *checkpoint)
+		}
+		fmt.Printf("sweep interrupted: %d run(s) completed%s\n",
+			outcomes.Total()-outcomes.Count("canceled"), where)
+		os.Exit(130)
+	}
+	if len(dnf) > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,23 +1,30 @@
 // Command tesim runs one closed-loop simulation: a Table I benchmark (or
 // all of them) on one of the paper's network configurations, printing the
-// run's throughput and memory-system statistics.
+// run's throughput and memory-system statistics. Multi-benchmark runs go
+// through the resilient worker pool (-jobs, -run-timeout, -retries): a
+// wedged or panicking run becomes a DNF row instead of a hung or dead
+// process, and rows always print in catalog order.
 //
 // Usage:
 //
 //	tesim -bench MUM -config TE
-//	tesim -bench all -config baseline -scale 0.5
+//	tesim -bench all -config baseline -scale 0.5 -jobs 8 -run-timeout 10m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/noc"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -54,6 +61,9 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (independent of -seed)")
 	watchdog := flag.Uint64("watchdog-cycles", fault.DefaultConfig().WatchdogCycles,
 		"deadlock watchdog no-movement window in icnt cycles (0 disables health checks)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
+	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	flag.Parse()
 
 	if *faultRate < 0 || *faultRate > 1 {
@@ -77,15 +87,22 @@ func main() {
 		profiles = []workload.Profile{p}
 	}
 
-	headers := []string{"bench", "config", "IPC", "icnt cycles", "net lat",
-		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status"}
-	if *faultRate > 0 {
-		headers = append(headers, "retx", "dropped", "avg retries")
+	// SIGINT/SIGTERM cancel the sweep; in-flight runs finish as
+	// "canceled" DNF rows and the partial table still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool, err := runner.New(ctx, runner.Options{
+		Jobs:       *jobs,
+		RunTimeout: *runTimeout,
+		Retries:    *retries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tesim:", err)
+		os.Exit(2)
 	}
-	tb := stats.NewTable("tesim results", headers...)
-	var ipcs []float64
-	dnf := 0
-	for _, p := range profiles {
+
+	cfgs := make([]core.Config, len(profiles))
+	for i, p := range profiles {
 		cfg := build(p).ScaleWork(*scale)
 		cfg.Seed = *seed
 		if strings.ToLower(*sched) == "gto" {
@@ -94,20 +111,37 @@ func main() {
 		if *faultRate > 0 {
 			cfg = cfg.WithFaults(*faultRate, *faultSeed)
 		}
-		cfg = cfg.WithWatchdog(*watchdog)
-		res, err := core.Run(cfg)
-		if err != nil && !fault.IsHang(err) {
-			fmt.Fprintln(os.Stderr, "tesim:", err)
-			os.Exit(1)
-		}
-		if err != nil {
-			// Hang verdict (deadlock, livelock, cycle cap, stall): report
-			// the degraded row plus its diagnostic and keep going.
+		cfgs[i] = cfg.WithWatchdog(*watchdog)
+	}
+	outs := pool.DoAll(cfgs)
+
+	headers := []string{"bench", "config", "IPC", "icnt cycles", "net lat",
+		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status"}
+	if *faultRate > 0 {
+		headers = append(headers, "retx", "dropped", "avg retries")
+	}
+	if *retries > 0 {
+		headers = append(headers, "attempts")
+	}
+	tb := stats.NewTable("tesim results", headers...)
+	var ipcs []float64
+	dnf := 0
+	for i, p := range profiles {
+		out := outs[i]
+		res := out.Result
+		if !out.OK() {
+			// Degraded run (deadlock, livelock, cycle cap, stall, timeout,
+			// panic, config error): report the row plus any diagnostic and
+			// keep going.
 			dnf++
-			fmt.Fprintf(os.Stderr, "tesim: %s did not finish: %v\n", p.Abbr, err)
+			fmt.Fprintf(os.Stderr, "tesim: %s did not finish: %s (attempt %d)\n",
+				p.Abbr, res.Status, out.Attempts)
 			var he *fault.HangError
-			if fault.AsHang(err, &he) && !he.Diag.Empty() {
+			if fault.AsHang(out.Err, &he) && !he.Diag.Empty() {
 				fmt.Fprintln(os.Stderr, he.Diag.String())
+			}
+			if out.Stack != "" {
+				fmt.Fprintln(os.Stderr, out.Stack)
 			}
 		} else {
 			ipcs = append(ipcs, res.IPC)
@@ -124,6 +158,9 @@ func main() {
 			status}
 		if *faultRate > 0 {
 			row = append(row, res.RetxPackets, res.DroppedPackets, fmt.Sprintf("%.3f", res.AvgRetries))
+		}
+		if *retries > 0 {
+			row = append(row, out.Attempts)
 		}
 		tb.AddRow(row...)
 	}

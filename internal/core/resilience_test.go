@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestFaultyClosedLoopCompletes(t *testing.T) {
 	cfg := Baseline(quickProfile("LL")).WithFaults(0.002, 7)
 	cfg.Noc.Fault.RetxTimeout = 512
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("faulty run failed: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestZeroFaultRateUnchanged(t *testing.T) {
 func TestCycleCapReturnsTypedError(t *testing.T) {
 	cfg := Baseline(quickProfile("HH"))
 	cfg.MaxIcntCycles = 200 // far too few to finish
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err == nil {
 		t.Fatal("capped run returned no error")
 	}
@@ -86,7 +87,7 @@ func TestWedgedNetworkSurfacesDeadlock(t *testing.T) {
 	cfg.Noc.Fault.CreditResyncCycles = 1 << 40
 	cfg.Noc.Fault.RetxTimeout = 1 << 40
 	cfg.Noc.Fault.WatchdogCycles = 2000
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err == nil {
 		t.Fatal("wedged system completed")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -61,6 +62,10 @@ func statusOf(err error) string {
 		return "stall"
 	case errors.Is(err, fault.ErrInvariant):
 		return "invariant"
+	case errors.Is(err, fault.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, fault.ErrCanceled):
+		return "canceled"
 	}
 	return "error"
 }
@@ -167,22 +172,30 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Run executes the kernel to completion (or until a degradation verdict)
 // and returns the run's statistics. A non-nil error is a *fault.HangError
-// (cycle cap, deadlock, livelock, system stall, invariant violation); the
-// Result is still populated so harnesses can record the degraded run.
-func Run(cfg Config) (Result, error) {
+// (cycle cap, deadlock, livelock, system stall, invariant violation, or a
+// context verdict); the Result is still populated so harnesses can record
+// the degraded run.
+//
+// The context bounds the run in wall-clock time: a deadline expiry yields
+// a "timeout" verdict and a cancellation a "canceled" one, both checked
+// every ctxCheckPeriod interconnect cycles so a wedged simulation can
+// never outlive its harness. A nil context behaves like
+// context.Background().
+func Run(ctx context.Context, cfg Config) (Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.Run(ctx)
 }
 
-// MustRun is Run but panics on configuration errors. Degraded runs (hang
-// verdicts from the watchdogs or the cycle cap) do not panic: the partial
-// Result comes back with its Status field set, preserving the historical
-// behaviour where timed-out runs returned a TimedOut result.
+// MustRun is Run with a background context; it panics on configuration
+// errors. Degraded runs (hang verdicts from the watchdogs or the cycle
+// cap) do not panic: the partial Result comes back with its Status field
+// set, preserving the historical behaviour where timed-out runs returned a
+// TimedOut result.
 func MustRun(cfg Config) Result {
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil && !fault.IsHang(err) {
 		panic(err)
 	}
@@ -193,9 +206,25 @@ func MustRun(cfg Config) Result {
 // system-level stall watchdog.
 const stallCheckPeriod = 64
 
+// ctxCheckPeriod is how often (in interconnect cycles) Run polls its
+// context for a deadline or cancellation. Coarse enough to stay off the
+// hot path, fine enough that a timed-out run dies within microseconds.
+const ctxCheckPeriod = 256
+
+// ctxCondition maps a context error to the typed fault vocabulary.
+func ctxCondition(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fault.ErrTimeout
+	}
+	return fault.ErrCanceled
+}
+
 // Run drives the clock domains until the kernel completes, the cycle cap
-// trips, or a health monitor declares the run degraded.
-func (s *System) Run() (Result, error) {
+// trips, a health monitor declares the run degraded, or ctx expires.
+func (s *System) Run(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxIcnt := s.cfg.MaxIcntCycles
 	if maxIcnt == 0 {
 		maxIcnt = defaultMaxIcntCycles
@@ -216,6 +245,13 @@ func (s *System) Run() (Result, error) {
 			timedOut = true
 			runErr = fault.Hang(fault.ErrCycleCap, s.diagnose("cycle-cap"))
 			break
+		}
+		if icnt%ctxCheckPeriod == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				cond := ctxCondition(cerr)
+				runErr = fault.Hang(cond, s.diagnose(statusOf(cond)))
+				break
+			}
 		}
 		buf = s.sched.Step(buf)
 		for _, d := range buf {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/workload"
@@ -133,7 +134,7 @@ func TestAllNetworkKindsComplete(t *testing.T) {
 		IdealCapped(p, 12),
 	}
 	for _, cfg := range configs {
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}

@@ -15,10 +15,15 @@ import (
 func (s *Suite) Fig7() *Report {
 	tb := stats.NewTable("Fig 7: speedup of a perfect NoC over baseline",
 		"bench", "class(paper)", "class(measured)", "baseIPC", "perfIPC", "speedup", "B/cyc/node")
+	s.prefetch(core.Baseline, core.Perfect)
 	ratios := map[string]float64{}
 	for _, p := range s.bench {
 		base := s.run(core.Baseline(p))
 		perf := s.run(core.Perfect(p))
+		if !base.OK() || !perf.OK() || base.IPC <= 0 {
+			tb.AddRow(p.Abbr, p.Class, "-", base.IPC, perf.IPC, "DNF", perf.AcceptedBytes)
+			continue
+		}
 		ratio := perf.IPC / base.IPC
 		ratios[p.Abbr] = ratio
 		tb.AddRow(p.Abbr, p.Class, classOf(ratio, perf.AcceptedBytes),
@@ -42,11 +47,16 @@ func (s *Suite) Fig7() *Report {
 func (s *Suite) Fig8() *Report {
 	tb := stats.NewTable("Fig 8: perfect-NoC speedup vs MC injection rate",
 		"bench", "class", "mcInj(flits/cyc/node)", "speedup")
+	s.prefetch(core.Baseline, core.Perfect)
 	type pt struct{ x, y float64 }
 	var pts []pt
 	for _, p := range s.bench {
 		base := s.run(core.Baseline(p))
 		perf := s.run(core.Perfect(p))
+		if !base.OK() || !perf.OK() || base.IPC <= 0 {
+			tb.AddRow(p.Abbr, p.Class, perf.MCInjRate, "DNF")
+			continue
+		}
 		ratio := perf.IPC / base.IPC
 		tb.AddRow(p.Abbr, p.Class, perf.MCInjRate, pct(ratio))
 		pts = append(pts, pt{x: perf.MCInjRate, y: ratio})
@@ -88,12 +98,19 @@ func sqrt(v float64) float64 {
 func (s *Suite) Fig9() *Report {
 	tb := stats.NewTable("Fig 9: bandwidth vs latency scaling",
 		"bench", "class", "2xBW speedup", "1-cycle speedup")
+	s.prefetch(core.Baseline,
+		func(p workload.Profile) core.Config { return core.Baseline(p).With2xBW() },
+		func(p workload.Profile) core.Config { return core.Baseline(p).With1CycleRouters() })
 	bw := map[string]float64{}
 	lat := map[string]float64{}
 	for _, p := range s.bench {
 		base := s.run(core.Baseline(p))
 		b2 := s.run(core.Baseline(p).With2xBW())
 		l1 := s.run(core.Baseline(p).With1CycleRouters())
+		if !base.OK() || !b2.OK() || !l1.OK() || base.IPC <= 0 {
+			tb.AddRow(p.Abbr, p.Class, "DNF", "DNF")
+			continue
+		}
 		bw[p.Abbr] = b2.IPC / base.IPC
 		lat[p.Abbr] = l1.IPC / base.IPC
 		tb.AddRow(p.Abbr, p.Class, pct(bw[p.Abbr]), pct(lat[p.Abbr]))
@@ -114,10 +131,16 @@ func (s *Suite) Fig9() *Report {
 func (s *Suite) Fig10() *Report {
 	tb := stats.NewTable("Fig 10: NoC latency ratio, 1-cycle vs 4-cycle routers",
 		"bench", "class", "lat(4cyc)", "lat(1cyc)", "ratio")
+	s.prefetch(core.Baseline,
+		func(p workload.Profile) core.Config { return core.Baseline(p).With1CycleRouters() })
 	lo, hi := 10.0, 0.0
 	for _, p := range s.bench {
 		base := s.run(core.Baseline(p))
 		fast := s.run(core.Baseline(p).With1CycleRouters())
+		if !base.OK() || !fast.OK() || base.AvgNetLatency <= 0 {
+			tb.AddRow(p.Abbr, p.Class, base.AvgNetLatency, fast.AvgNetLatency, "DNF")
+			continue
+		}
 		ratio := fast.AvgNetLatency / base.AvgNetLatency
 		if ratio < lo {
 			lo = ratio
@@ -142,6 +165,7 @@ func (s *Suite) Fig10() *Report {
 func (s *Suite) Fig11() *Report {
 	tb := stats.NewTable("Fig 11: fraction of time MCs are stalled by the reply network",
 		"bench", "class", "stall")
+	s.prefetch(core.Baseline)
 	maxStall := 0.0
 	for _, p := range s.bench {
 		base := s.run(core.Baseline(p))
@@ -306,6 +330,15 @@ func (s *Suite) Fig6() *Report {
 	xs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.816, 0.9, 1.0, 1.2, 1.4, 1.6}
 	tb := stats.NewTable("Fig 6: ideal-NoC bandwidth limit study",
 		"BW fraction of DRAM", "HM IPC", "normalized", "norm. IPC/area")
+	// Warm the whole (benchmark × bandwidth-cap) grid in parallel.
+	var cfgs []core.Config
+	for _, p := range s.bench {
+		cfgs = append(cfgs, core.Perfect(p))
+		for _, x := range xs {
+			cfgs = append(cfgs, core.IdealCapped(p, core.Baseline(p).CapForBWFraction(x)))
+		}
+	}
+	s.runAll(cfgs)
 	// Infinite-bandwidth reference.
 	ref := map[string]float64{}
 	for _, p := range s.bench {
@@ -369,6 +402,11 @@ func (s *Suite) Fig2() *Report {
 		{"Thr. Eff. (1net)", core.ThroughputEffectiveSingle, area.FromConfig(teSingleCfg.Noc, false)},
 		{"Ideal NoC", core.Perfect, area.NetworkArea{}},
 	}
+	builders := make([]func(workload.Profile) core.Config, len(pts))
+	for i, pt := range pts {
+		builders[i] = pt.cfg
+	}
+	s.prefetch(builders...)
 	var baseEff float64
 	var rows []string
 	for _, pt := range pts {

@@ -36,9 +36,9 @@ func TestNewValidatesBenchmarks(t *testing.T) {
 func TestRunCaching(t *testing.T) {
 	s := quickSuite(t)
 	r1 := s.Fig11()
-	before := len(s.cache)
+	before := s.Executed()
 	r2 := s.Fig11()
-	if len(s.cache) != before {
+	if s.Executed() != before {
 		t.Error("second Fig11 ran new simulations despite cache")
 	}
 	if r1.Table.String() != r2.Table.String() {
@@ -135,9 +135,9 @@ func TestSuiteRecordsDNF(t *testing.T) {
 	}
 	// The degraded result is cached like any other: re-running must not
 	// simulate again or duplicate the DNF record.
-	before := len(s.cache)
+	before := s.Executed()
 	_ = s.run(cfg)
-	if len(s.cache) != before || len(s.DNF()) != 1 {
+	if s.Executed() != before || len(s.DNF()) != 1 {
 		t.Error("cached DNF re-ran or duplicated")
 	}
 }

@@ -35,6 +35,15 @@ func (s *Suite) resilienceBench() []workload.Profile {
 	return out
 }
 
+// faultyCfg enables the injector at rate with the sweep's fixed seed. A
+// tight retransmission deadline keeps recovery fast relative to the
+// scaled-down kernels used in sweeps.
+func faultyCfg(cfg core.Config, rate float64) core.Config {
+	cfg = cfg.WithFaults(rate, 13)
+	cfg.Noc.Fault.RetxTimeout = 512
+	return cfg
+}
+
 // Resilience is this repository's robustness experiment (not in the paper):
 // it sweeps the network fault injector's master rate and reports how much
 // application throughput the end-to-end retransmission layer retains, for
@@ -55,6 +64,20 @@ func (s *Suite) Resilience() *Report {
 	bench := s.resilienceBench()
 	worstRate := resilienceRates[len(resilienceRates)-1]
 
+	// Warm the full (config × benchmark × fault-rate) grid in parallel.
+	var cfgs []core.Config
+	for _, c := range configs {
+		for _, p := range bench {
+			cfgs = append(cfgs, c.mk(p))
+			for _, rate := range resilienceRates {
+				if rate > 0 {
+					cfgs = append(cfgs, faultyCfg(c.mk(p), rate))
+				}
+			}
+		}
+	}
+	s.runAll(cfgs)
+
 	var summary []string
 	for _, c := range configs {
 		var retained []float64
@@ -63,11 +86,7 @@ func (s *Suite) Resilience() *Report {
 			for _, rate := range resilienceRates {
 				r := base
 				if rate > 0 {
-					cfg := c.mk(p).WithFaults(rate, 13)
-					// A tight retransmission deadline keeps recovery fast
-					// relative to the scaled-down kernels used in sweeps.
-					cfg.Noc.Fault.RetxTimeout = 512
-					r = s.run(cfg)
+					r = s.run(faultyCfg(c.mk(p), rate))
 				}
 				rel := "-"
 				if r.OK() && base.OK() && base.IPC > 0 {

@@ -1,18 +1,29 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§V). Each FigNN/TableNN method returns a Report containing a
 // printable table plus summary lines comparing the paper's headline numbers
-// with the measured ones. Closed-loop runs are memoized, so figures sharing
-// a configuration (e.g. the baseline) reuse each other's simulations.
+// with the measured ones.
+//
+// Simulations execute through a resilient worker pool (internal/runner):
+// figures warm the pool in parallel, then render serially from the
+// memoized results, so tables are byte-identical for any -jobs value and
+// figures sharing a configuration (e.g. the baseline) reuse each other's
+// simulations. Degraded runs — hangs, wall-clock timeouts, panics —
+// surface as DNF rows instead of aborting the sweep, and a checkpoint
+// journal lets an interrupted sweep resume without re-running finished
+// simulations.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/fault"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -22,11 +33,34 @@ type Options struct {
 	// Scale multiplies kernel length; 1.0 is the calibrated default.
 	// Values below ~0.5 trade accuracy for speed (tests use ~0.2).
 	Scale float64
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. With
+	// more than one worker the line order is nondeterministic; the
+	// rendered tables never are.
 	Progress io.Writer
 	// Benchmarks restricts the suite to the given abbreviations (all 31
 	// when empty).
 	Benchmarks []string
+	// Jobs bounds concurrent simulations; 0 means GOMAXPROCS. Tables are
+	// byte-identical for any value: figures render serially from the
+	// memoized results.
+	Jobs int
+	// RunTimeout is the per-run wall-clock deadline; a run that exceeds
+	// it becomes a "timeout" DNF row. 0 disables the deadline.
+	RunTimeout time.Duration
+	// Retries is how many extra attempts transient DNFs (stall, timeout)
+	// get before being recorded.
+	Retries int
+	// RetryBackoff overrides the base retry delay (tests); 0 means the
+	// runner default.
+	RetryBackoff time.Duration
+	// Checkpoint is the JSONL journal path recording each finished run;
+	// empty disables checkpointing.
+	Checkpoint string
+	// Resume preloads the Checkpoint journal and skips finished runs.
+	Resume bool
+	// Context cancels the whole sweep (SIGINT handling in the CLIs);
+	// nil means context.Background().
+	Context context.Context
 }
 
 // Report is one regenerated experiment.
@@ -48,12 +82,13 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Suite runs and caches the experiments.
+// Suite runs and caches the experiments. Every simulation goes through a
+// runner.Pool, which supplies the worker pool, per-run deadlines, panic
+// isolation, retries and the checkpoint journal.
 type Suite struct {
 	opts  Options
 	bench []workload.Profile
-	cache map[string]core.Result
-	dnf   map[string]core.Result // degraded runs, keyed like cache
+	pool  *runner.Pool
 }
 
 // New builds a suite.
@@ -74,8 +109,21 @@ func New(opts Options) (*Suite, error) {
 			bench = append(bench, p)
 		}
 	}
-	return &Suite{opts: opts, bench: bench,
-		cache: make(map[string]core.Result), dnf: make(map[string]core.Result)}, nil
+	s := &Suite{opts: opts, bench: bench}
+	pool, err := runner.New(opts.Context, runner.Options{
+		Jobs:       opts.Jobs,
+		RunTimeout: opts.RunTimeout,
+		Retries:    opts.Retries,
+		Backoff:    opts.RetryBackoff,
+		Checkpoint: opts.Checkpoint,
+		Resume:     opts.Resume,
+		OnDone:     s.report,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	return s, nil
 }
 
 // MustNew is New but panics on error.
@@ -90,45 +138,95 @@ func MustNew(opts Options) *Suite {
 // Benchmarks returns the profiles the suite runs.
 func (s *Suite) Benchmarks() []workload.Profile { return s.bench }
 
-// run executes (or recalls) one closed-loop simulation. A degraded run
-// (cycle cap, deadlock, stall) does not abort the suite: the partial result
-// is cached with its Status set and recorded as a DNF, so the remaining
-// benchmarks still run and the report marks the failure.
-func (s *Suite) run(cfg core.Config) core.Result {
-	key := cfg.Name + "|" + cfg.Workload.Abbr
-	if r, ok := s.cache[key]; ok {
-		return r
+// report is the pool's serialized completion callback: one progress line
+// per freshly executed run. It fires only for real executions, never for
+// cache hits or checkpoint-resumed results.
+func (s *Suite) report(out runner.Outcome) {
+	if s.opts.Progress == nil {
+		return
 	}
-	r, err := core.Run(cfg.ScaleWork(s.opts.Scale))
-	if err != nil {
-		if !fault.IsHang(err) {
-			panic(fmt.Sprintf("experiments: %s on %s: %v", cfg.Name, cfg.Workload.Abbr, err))
+	r := out.Result
+	if !out.OK() {
+		fmt.Fprintf(s.opts.Progress, "DNF %-16s %-4s %s (attempt %d)\n",
+			r.Config, r.Benchmark, r.Status, out.Attempts)
+		if out.Stack != "" {
+			fmt.Fprintln(s.opts.Progress, out.Stack)
 		}
-		s.dnf[key] = r
-		if s.opts.Progress != nil {
-			fmt.Fprintf(s.opts.Progress, "DNF %-16s %-4s %s\n", cfg.Name, cfg.Workload.Abbr, r.Status)
-		}
-	} else if s.opts.Progress != nil {
-		fmt.Fprintf(s.opts.Progress, "ran %-16s %-4s IPC=%.1f\n", cfg.Name, cfg.Workload.Abbr, r.IPC)
+		return
 	}
-	s.cache[key] = r
-	return r
+	fmt.Fprintf(s.opts.Progress, "ran %-16s %-4s IPC=%.1f\n", r.Config, r.Benchmark, r.IPC)
 }
 
-// DNF lists the degraded runs as "config|bench: status" lines, sorted.
+// run executes (or recalls) one closed-loop simulation. A degraded run
+// (cycle cap, deadlock, stall, timeout, panic, or any unexpected error)
+// does not abort the suite: the partial result comes back with its Status
+// set and is listed by DNF, so the remaining benchmarks still run and the
+// report marks the failure.
+func (s *Suite) run(cfg core.Config) core.Result {
+	return s.pool.Do(cfg.ScaleWork(s.opts.Scale)).Result
+}
+
+// runAll warms the result cache by pushing cfgs through the worker pool in
+// parallel. Figures call it (directly or via prefetch) before their serial
+// rendering loops, which then hit the cache; rendering order — and thus
+// table bytes — is independent of the worker count.
+func (s *Suite) runAll(cfgs []core.Config) {
+	scaled := make([]core.Config, len(cfgs))
+	for i, c := range cfgs {
+		scaled[i] = c.ScaleWork(s.opts.Scale)
+	}
+	s.pool.DoAll(scaled)
+}
+
+// prefetch warms the cache for every (benchmark × builder) combination.
+func (s *Suite) prefetch(builders ...func(workload.Profile) core.Config) {
+	cfgs := make([]core.Config, 0, len(s.bench)*len(builders))
+	for _, p := range s.bench {
+		for _, b := range builders {
+			cfgs = append(cfgs, b(p))
+		}
+	}
+	s.runAll(cfgs)
+}
+
+// DNF lists the degraded runs as "config|bench: status" lines, sorted;
+// runs that needed retries carry their attempt count.
 func (s *Suite) DNF() []string {
-	out := make([]string, 0, len(s.dnf))
-	for key, r := range s.dnf {
-		out = append(out, fmt.Sprintf("%s: %s", key, r.Status))
+	var out []string
+	for _, o := range s.pool.Outcomes() {
+		if o.OK() {
+			continue
+		}
+		line := fmt.Sprintf("%s|%s: %s", o.Result.Config, o.Result.Benchmark, o.Result.Status)
+		if o.Attempts > 1 {
+			line += fmt.Sprintf(" (attempts %d)", o.Attempts)
+		}
+		out = append(out, line)
 	}
 	sort.Strings(out)
 	return out
 }
 
+// Outcomes snapshots every terminal run outcome (sorted by key).
+func (s *Suite) Outcomes() []runner.Outcome { return s.pool.Outcomes() }
+
+// Executed returns how many simulations actually ran in this process
+// (cache hits and checkpoint-resumed runs excluded).
+func (s *Suite) Executed() int { return s.pool.Executed() }
+
+// SkippedJournalLines returns how many corrupt checkpoint lines resume
+// ignored.
+func (s *Suite) SkippedJournalLines() int { return s.pool.Skipped() }
+
+// Close flushes and closes the checkpoint journal.
+func (s *Suite) Close() error { return s.pool.Close() }
+
 // speedups computes per-benchmark IPC ratios between two config builders.
-// Benchmarks where either side did not finish are skipped: a DNF's partial
-// IPC would corrupt the harmonic-mean aggregates.
+// Both sides are warmed through the worker pool first; benchmarks where
+// either side did not finish are skipped, since a DNF's partial IPC would
+// corrupt the harmonic-mean aggregates.
 func (s *Suite) speedups(baseCfg, newCfg func(workload.Profile) core.Config) map[string]float64 {
+	s.prefetch(baseCfg, newCfg)
 	out := make(map[string]float64, len(s.bench))
 	for _, p := range s.bench {
 		base := s.run(baseCfg(p))
@@ -141,10 +239,16 @@ func (s *Suite) speedups(baseCfg, newCfg func(workload.Profile) core.Config) map
 	return out
 }
 
-// hm aggregates a speedup map with the paper's harmonic mean.
+// hm aggregates a speedup map with the paper's harmonic mean. Ratios
+// polluted by degraded runs (zero, negative or non-finite) are skipped:
+// HarmonicMean has no value for them, and a DNF row must not abort the
+// figure that reports it.
 func hm(ratios map[string]float64, only func(abbr string) bool) float64 {
 	var vs []float64
 	for abbr, r := range ratios {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			continue
+		}
 		if only == nil || only(abbr) {
 			vs = append(vs, r)
 		}
@@ -188,7 +292,16 @@ func isClass(class string) func(string) bool {
 	return func(abbr string) bool { return paperClassOf(abbr) == class }
 }
 
-func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
+// pct renders a speedup ratio. Real IPC/latency ratios are strictly
+// positive; zero only reaches here when every contributing run was a DNF
+// (e.g. an empty harmonic mean), which must read as missing data, not
+// as a -100% slowdown.
+func pct(ratio float64) string {
+	if ratio <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+}
 
 func sortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))

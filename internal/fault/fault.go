@@ -44,6 +44,15 @@ var (
 	// ErrStall: the whole system (cores, MCs and network together) made no
 	// forward progress for the watchdog window.
 	ErrStall = errors.New("fault: system-wide stall detected")
+	// ErrTimeout: the run exceeded its wall-clock deadline (the harness's
+	// per-run context timed out). Unlike ErrCycleCap this is a property of
+	// the host machine, not the simulated system, so it is the one verdict
+	// a retry can legitimately clear.
+	ErrTimeout = errors.New("fault: run exceeded its wall-clock deadline")
+	// ErrCanceled: the run was abandoned because the whole sweep was
+	// cancelled (SIGINT/SIGTERM or a parent context). Never retried and
+	// never checkpointed.
+	ErrCanceled = errors.New("fault: run canceled")
 )
 
 // Config parameterizes fault injection and health monitoring for one run.

@@ -1,0 +1,151 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// journalVersion is bumped whenever the record schema changes
+// incompatibly; Load rejects journals from a different version.
+const journalVersion = 1
+
+// Record is one checkpointed run: the cache key, how many attempts it
+// took, and the full Result so a resumed sweep renders identical tables
+// without re-simulating.
+type Record struct {
+	Key      string      `json:"key"`
+	Attempts int         `json:"attempts"`
+	Result   core.Result `json:"result"`
+}
+
+// journalHeader is the first line of every journal file.
+type journalHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+}
+
+// Journal appends checkpoint records to a JSONL file, fsyncing after
+// every record so a killed process loses at most the runs still in
+// flight — never a completed one.
+type Journal struct {
+	f *os.File
+}
+
+// OpenJournal opens (or creates) the journal at path for appending,
+// writing the version header when the file is new or empty. A file whose
+// last line was torn by a crash (no trailing newline) is sealed with one
+// first, so the next record starts on its own line instead of merging
+// into the wreckage.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: stat checkpoint: %w", err)
+	}
+	j := &Journal{f: f}
+	if st.Size() == 0 {
+		hdr, _ := json.Marshal(journalHeader{Kind: "journal-header", Version: journalVersion})
+		if err := j.writeLine(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: inspect checkpoint tail: %w", err)
+	}
+	if last[0] != '\n' {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: seal torn checkpoint line: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// Append writes one record and forces it to stable storage.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runner: encode checkpoint record: %w", err)
+	}
+	return j.writeLine(line)
+}
+
+func (j *Journal) writeLine(line []byte) error {
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("runner: write checkpoint: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: fsync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// LoadJournal reads every valid record from the journal at path. Corrupt
+// or truncated lines — the expected wound of a process killed mid-write —
+// are skipped and counted, never fatal: losing one record costs one
+// re-run, while refusing the file would cost the whole sweep. A missing
+// file yields no records and no error (a fresh sweep with -resume is
+// legal). When the same key appears more than once the last record wins.
+func LoadJournal(path string) (recs []Record, skipped int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("runner: open checkpoint for resume: %w", err)
+	}
+	defer f.Close()
+
+	byKey := make(map[string]int) // key -> index in recs
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var hdr journalHeader
+			if json.Unmarshal(line, &hdr) == nil && hdr.Kind == "journal-header" {
+				if hdr.Version != journalVersion {
+					return nil, 0, fmt.Errorf("runner: checkpoint %s is version %d, want %d",
+						path, hdr.Version, journalVersion)
+				}
+				continue
+			}
+			// Headerless journal: fall through and try the line as a record.
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+			skipped++
+			continue
+		}
+		if i, ok := byKey[rec.Key]; ok {
+			recs[i] = rec
+			continue
+		}
+		byKey[rec.Key] = len(recs)
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	return recs, skipped, nil
+}

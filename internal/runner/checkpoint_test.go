@@ -1,0 +1,168 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sweep.jsonl")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: "A|MUM|s1|i100", Attempts: 1, Result: core.Result{Benchmark: "MUM", Config: "A", Status: "ok", IPC: 42.5}},
+		{Key: "B|MUM|s1|i100", Attempts: 3, Result: core.Result{Benchmark: "MUM", Config: "B", Status: "stall"}},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadJournalSkipsCorruptLines(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "good|run|s1|i1", Attempts: 1,
+		Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-write: a garbage line and a truncated record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("this is not json\n")
+	f.WriteString(`{"key":"torn|run|s1|i1","attempts":1,"result":{"Stat`)
+	f.Close()
+
+	got, skipped, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "good|run|s1|i1" {
+		t.Fatalf("records = %+v, want just the good one", got)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+}
+
+func TestLoadJournalMissingFile(t *testing.T) {
+	recs, skipped, err := LoadJournal(journalPath(t))
+	if err != nil || recs != nil || skipped != 0 {
+		t.Errorf("missing journal: recs=%v skipped=%d err=%v, want all zero", recs, skipped, err)
+	}
+}
+
+func TestLoadJournalRejectsFutureVersion(t *testing.T) {
+	path := journalPath(t)
+	os.WriteFile(path, []byte(`{"kind":"journal-header","version":999}`+"\n"), 0o644)
+	if _, _, err := LoadJournal(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version journal accepted: %v", err)
+	}
+}
+
+// TestResumeSkipsFinishedRuns is the core checkpoint contract: a second
+// pool resuming the journal must not re-execute journaled runs, and the
+// journal must never hold a duplicate key.
+func TestResumeSkipsFinishedRuns(t *testing.T) {
+	path := journalPath(t)
+	cfgA, cfgB, cfgC := testCfg(t, "A"), testCfg(t, "B"), testCfg(t, "C")
+
+	p1, err := New(context.Background(), Options{Jobs: 2, Checkpoint: path, Run: okRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.DoAll([]core.Config{cfgA, cfgB})
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	executed := make(map[string]int)
+	p2, err := New(context.Background(), Options{Jobs: 2, Checkpoint: path, Resume: true,
+		Run: func(ctx context.Context, cfg core.Config) (core.Result, error) {
+			executed[cfg.Name]++
+			return okRun(ctx, cfg)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := p2.DoAll([]core.Config{cfgA, cfgB, cfgC})
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(executed) != 1 || executed["C"] != 1 {
+		t.Errorf("resumed pool executed %v, want only C once", executed)
+	}
+	if !outs[0].Resumed || !outs[1].Resumed || outs[2].Resumed {
+		t.Errorf("resumed flags = %v %v %v, want true true false",
+			outs[0].Resumed, outs[1].Resumed, outs[2].Resumed)
+	}
+	recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("journal has %d records, want 3 (A, B, C once each)", len(recs))
+	}
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if seen[r.Key] {
+			t.Errorf("journal key %s appears twice: a finished run re-executed", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+// Canceled and timed-out runs are not "finished": they must not be
+// journaled, so a resumed sweep re-executes them.
+func TestTransientOutcomesNotJournaled(t *testing.T) {
+	path := journalPath(t)
+	p, err := New(context.Background(), Options{Jobs: 1, Checkpoint: path,
+		Run: func(_ context.Context, cfg core.Config) (core.Result, error) {
+			return core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "timeout"}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Do(testCfg(t, "slow"))
+	p.Close()
+	recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("timeout outcome journaled: %+v", recs)
+	}
+}

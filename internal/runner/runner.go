@@ -1,0 +1,385 @@
+// Package runner is the resilient execution layer between the experiment
+// harnesses and core.Run. Every closed-loop simulation in the repository —
+// the experiments suite, tesim, and any future sweep — goes through a Pool,
+// which provides what a 600-run paper sweep needs to survive a long night:
+//
+//   - a bounded worker pool (Jobs workers, default GOMAXPROCS) with a
+//     memoizing, singleflight result cache, so figures sharing a
+//     configuration still reuse each other's simulations and the rendered
+//     tables are bit-identical regardless of worker count;
+//   - a per-run wall-clock deadline (RunTimeout) and sweep-wide
+//     cancellation via the pool's context: a wedged run becomes a DNF row
+//     with a "timeout" status, never a hung process;
+//   - panic isolation: a recover around every run converts an unexpected
+//     panic into a typed DNF outcome carrying the stack, so one bad
+//     configuration cannot kill the rest of the sweep;
+//   - bounded retry with jittered exponential backoff for transient
+//     verdicts ("stall", "timeout") — never for deterministic deadlocks —
+//     with per-run attempt accounting surfaced in the Outcome;
+//   - an fsynced JSONL checkpoint journal (Checkpoint/Resume) recording
+//     each finished run, so an interrupted sweep resumes without
+//     re-executing completed simulations (see checkpoint.go).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// RunFunc executes one simulation. The default is core.Run; tests inject
+// panicking or flaky substitutes to exercise the isolation machinery.
+type RunFunc func(ctx context.Context, cfg core.Config) (core.Result, error)
+
+// Options configures a Pool. The zero value is usable: GOMAXPROCS workers,
+// no per-run deadline, no retries, no checkpoint.
+type Options struct {
+	// Jobs bounds concurrent simulations; 0 means GOMAXPROCS.
+	Jobs int
+	// RunTimeout is the per-run wall-clock deadline; 0 disables it.
+	RunTimeout time.Duration
+	// Retries is how many extra attempts a transient DNF ("stall",
+	// "timeout") gets before it is recorded; deterministic verdicts
+	// (deadlock, livelock, cycle-cap, panic) are never retried.
+	Retries int
+	// Backoff is the base delay before the first retry; successive
+	// retries double it, each with ±50% deterministic jitter. 0 means
+	// DefaultBackoff.
+	Backoff time.Duration
+	// Checkpoint, when non-empty, is the JSONL journal path; every
+	// finished run is appended and fsynced so a killed sweep loses at
+	// most the runs still in flight.
+	Checkpoint string
+	// Resume preloads the journal into the cache so finished runs are
+	// never re-executed.
+	Resume bool
+	// Run overrides the simulation entry point (tests only).
+	Run RunFunc
+	// OnDone, when non-nil, receives every freshly executed outcome.
+	// Calls are serialized; cache and journal state are consistent when
+	// it fires.
+	OnDone func(Outcome)
+}
+
+// DefaultBackoff is the base retry delay when Options.Backoff is zero.
+const DefaultBackoff = 250 * time.Millisecond
+
+// Outcome is the terminal state of one run request.
+type Outcome struct {
+	// Key identifies the (config, benchmark, seed, kernel-length) tuple.
+	Key string
+	// Result is the simulation's (possibly partial) statistics. For a
+	// panic or configuration error the Status carries the message.
+	Result core.Result
+	// Attempts is how many executions the run took (1 = no retry).
+	Attempts int
+	// Err is the final attempt's error (nil for clean runs; not
+	// preserved across checkpoint resume).
+	Err error
+	// Stack is the captured goroutine stack when the run panicked.
+	Stack string
+	// Cached reports the outcome was served from the in-memory cache
+	// rather than executed by this call.
+	Cached bool
+	// Resumed reports the outcome was loaded from a checkpoint journal.
+	Resumed bool
+}
+
+// OK reports whether the run completed without a degradation verdict.
+func (o Outcome) OK() bool { return o.Result.OK() }
+
+// Retryable reports whether a status is a transient verdict worth another
+// attempt: a wall-clock timeout (host scheduling, not simulated behaviour)
+// or a system stall (which fault injection can make load-dependent).
+// Deterministic verdicts — deadlock, livelock, cycle-cap, invariant,
+// panic — always reproduce, so retrying them only wastes the sweep's time.
+func Retryable(status string) bool { return status == "stall" || status == "timeout" }
+
+// Key derives the cache/journal identity of a configuration: name,
+// benchmark, seed and scaled kernel length. Two configs that differ only
+// in fields outside the key must also differ in Name (the Config builders
+// maintain this by suffixing every mutation).
+func Key(cfg core.Config) string {
+	return fmt.Sprintf("%s|%s|s%d|i%d",
+		cfg.Name, cfg.Workload.Abbr, cfg.Seed, cfg.Workload.InstrsPerWarp)
+}
+
+// Pool executes runs through a bounded set of workers with memoization,
+// retries, panic isolation and checkpointing. All methods are safe for
+// concurrent use.
+type Pool struct {
+	ctx  context.Context
+	opts Options
+	run  RunFunc
+	sem  chan struct{}
+
+	mu         sync.Mutex
+	cache      map[string]Outcome
+	inflight   map[string]chan struct{}
+	executed   int
+	skipped    int // corrupt journal lines ignored during resume
+	journal    *Journal
+	journalErr error // first journal write failure, surfaced by Close
+
+	cbMu sync.Mutex // serializes OnDone callbacks
+}
+
+// New builds a pool bound to ctx; cancelling ctx aborts in-flight runs
+// (they finish with a "canceled" verdict) and makes further requests
+// return immediately.
+func New(ctx context.Context, opts Options) (*Pool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultBackoff
+	}
+	if opts.Retries < 0 {
+		return nil, fmt.Errorf("runner: Retries must be >= 0, got %d", opts.Retries)
+	}
+	p := &Pool{
+		ctx:      ctx,
+		opts:     opts,
+		run:      opts.Run,
+		sem:      make(chan struct{}, opts.Jobs),
+		cache:    make(map[string]Outcome),
+		inflight: make(map[string]chan struct{}),
+	}
+	if p.run == nil {
+		p.run = core.Run
+	}
+	if opts.Checkpoint != "" {
+		if opts.Resume {
+			recs, skipped, err := LoadJournal(opts.Checkpoint)
+			if err != nil {
+				return nil, err
+			}
+			p.skipped = skipped
+			for _, rec := range recs {
+				p.cache[rec.Key] = Outcome{
+					Key:      rec.Key,
+					Result:   rec.Result,
+					Attempts: rec.Attempts,
+					Resumed:  true,
+				}
+			}
+		}
+		j, err := OpenJournal(opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		p.journal = j
+	}
+	return p, nil
+}
+
+// Do executes (or recalls) one run. It blocks until the outcome is
+// terminal; duplicate concurrent requests for the same key share a single
+// execution.
+func (p *Pool) Do(cfg core.Config) Outcome {
+	key := Key(cfg)
+	for {
+		p.mu.Lock()
+		if out, ok := p.cache[key]; ok {
+			p.mu.Unlock()
+			out.Cached = true
+			return out
+		}
+		if wait, ok := p.inflight[key]; ok {
+			p.mu.Unlock()
+			<-wait
+			continue // the winner has populated the cache
+		}
+		wait := make(chan struct{})
+		p.inflight[key] = wait
+		p.mu.Unlock()
+
+		out := p.acquireAndRun(cfg, key)
+
+		p.mu.Lock()
+		p.cache[key] = out
+		delete(p.inflight, key)
+		if !out.Cached && !out.Resumed {
+			p.executed++
+			p.appendJournalLocked(out)
+		}
+		p.mu.Unlock()
+		close(wait)
+
+		if p.opts.OnDone != nil {
+			p.cbMu.Lock()
+			p.opts.OnDone(out)
+			p.cbMu.Unlock()
+		}
+		return out
+	}
+}
+
+// DoAll fans cfgs out across the worker pool and waits for every outcome;
+// outs[i] corresponds to cfgs[i]. Harnesses use it to warm the cache in
+// parallel before rendering tables serially (and deterministically) from
+// cache hits.
+func (p *Pool) DoAll(cfgs []core.Config) []Outcome {
+	outs := make([]Outcome, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = p.Do(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	return outs
+}
+
+// acquireAndRun takes a worker slot and executes the retry loop.
+func (p *Pool) acquireAndRun(cfg core.Config, key string) Outcome {
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-p.ctx.Done():
+		return p.canceledOutcome(cfg, key, 0)
+	}
+	if p.ctx.Err() != nil {
+		return p.canceledOutcome(cfg, key, 0)
+	}
+
+	maxAttempts := 1 + p.opts.Retries
+	// The jitter stream is keyed off the run identity so backoff delays
+	// are reproducible; it only perturbs timing, never results.
+	jitter := xrand.New(hashKey(key) ^ 0x6a6974746572) // "jitter"
+	var out Outcome
+	for attempt := 1; ; attempt++ {
+		res, err, stack := p.runOnce(cfg)
+		out = Outcome{Key: key, Result: res, Attempts: attempt, Err: err, Stack: stack}
+		if res.OK() || !Retryable(res.Status) || attempt >= maxAttempts || p.ctx.Err() != nil {
+			return out
+		}
+		delay := p.opts.Backoff << (attempt - 1)
+		delay = time.Duration(float64(delay) * (0.5 + jitter.Float64()))
+		select {
+		case <-time.After(delay):
+		case <-p.ctx.Done():
+			return out
+		}
+	}
+}
+
+// runOnce executes a single attempt with the per-run deadline and panic
+// isolation. A panic becomes a "panic" DNF with the stack attached; an
+// error outside the typed vocabulary (e.g. an invalid configuration)
+// becomes a DNF whose Status carries the message.
+func (p *Pool) runOnce(cfg core.Config) (res core.Result, err error, stack string) {
+	ctx := p.ctx
+	if p.opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.opts.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack = string(debug.Stack())
+			err = fmt.Errorf("runner: run %s/%s panicked: %v", cfg.Name, cfg.Workload.Abbr, r)
+			res = core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "panic"}
+		}
+	}()
+	res, err = p.run(ctx, cfg)
+	if res.Benchmark == "" {
+		res.Benchmark = cfg.Workload.Abbr
+	}
+	if res.Config == "" {
+		res.Config = cfg.Name
+	}
+	if err != nil && (res.Status == "" || res.Status == "ok") {
+		res.Status = err.Error()
+	}
+	return res, err, ""
+}
+
+func (p *Pool) canceledOutcome(cfg core.Config, key string, attempts int) Outcome {
+	if attempts == 0 {
+		attempts = 1
+	}
+	return Outcome{
+		Key:      key,
+		Result:   core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "canceled"},
+		Attempts: attempts,
+		Err:      p.ctx.Err(),
+	}
+}
+
+// appendJournalLocked checkpoints a finished run. "canceled" runs are not
+// finished (the sweep is shutting down) and "timeout" verdicts are
+// host-transient, so neither is journaled: both re-execute on resume.
+func (p *Pool) appendJournalLocked(out Outcome) {
+	if p.journal == nil || out.Result.Status == "canceled" || out.Result.Status == "timeout" {
+		return
+	}
+	// A journal write failure must not kill the sweep it exists to
+	// protect; the error is remembered and surfaced via Close.
+	if err := p.journal.Append(Record{Key: out.Key, Attempts: out.Attempts, Result: out.Result}); err != nil {
+		p.journalErr = err
+	}
+}
+
+// Executed returns how many simulations this pool actually ran (cache hits
+// and resumed runs excluded).
+func (p *Pool) Executed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.executed
+}
+
+// Skipped returns how many corrupt journal lines resume ignored.
+func (p *Pool) Skipped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.skipped
+}
+
+// Outcomes snapshots every terminal outcome, sorted by key for stable
+// reporting.
+func (p *Pool) Outcomes() []Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	outs := make([]Outcome, 0, len(p.cache))
+	for _, o := range p.cache {
+		outs = append(outs, o)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Key < outs[j].Key })
+	return outs
+}
+
+// Close flushes and closes the checkpoint journal, returning any write
+// error swallowed during the sweep.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	if p.journal != nil {
+		err = p.journal.Close()
+		p.journal = nil
+	}
+	if p.journalErr != nil {
+		return p.journalErr
+	}
+	return err
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -296,6 +296,72 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Outcomes tallies the terminal states of a sweep's runs: how many landed
+// in each status ("ok", "deadlock", "timeout", "panic", ...) and the
+// distribution of attempts the resilient runner needed per run. The
+// experiment CLIs render it as the sweep's closing DNF/attempt summary.
+type Outcomes struct {
+	byStatus map[string]int
+	attempts IntDist
+}
+
+// Observe records one run's terminal status and attempt count; an empty
+// status counts as "ok".
+func (o *Outcomes) Observe(status string, attempts int) {
+	if o.byStatus == nil {
+		o.byStatus = make(map[string]int)
+	}
+	if status == "" {
+		status = "ok"
+	}
+	o.byStatus[status]++
+	o.attempts.Add(attempts)
+}
+
+// Total returns the number of observed runs.
+func (o *Outcomes) Total() int { return int(o.attempts.N()) }
+
+// DNF returns how many runs did not finish cleanly.
+func (o *Outcomes) DNF() int { return o.Total() - o.byStatus["ok"] }
+
+// Count returns how many runs ended with the given status.
+func (o *Outcomes) Count(status string) int { return o.byStatus[status] }
+
+// Retried returns how many runs needed more than one attempt.
+func (o *Outcomes) Retried() int {
+	return o.Total() - int(o.attempts.Count(1)) - int(o.attempts.Count(0))
+}
+
+// Table renders the per-status counts with attempt accounting, sorted by
+// status for diff-stable output.
+func (o *Outcomes) Table() *Table {
+	tb := NewTable("run outcomes", "status", "runs", "share")
+	statuses := make([]string, 0, len(o.byStatus))
+	for s := range o.byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	total := o.Total()
+	for _, s := range statuses {
+		n := o.byStatus[s]
+		tb.AddRow(s, n, fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total)))
+	}
+	return tb
+}
+
+// Summary renders the one-line sweep verdict the CLIs print after the
+// tables, e.g. "12 runs: 10 ok, 2 DNF, 1 retried (max 3 attempts)".
+func (o *Outcomes) Summary() string {
+	if o.Total() == 0 {
+		return "0 runs"
+	}
+	s := fmt.Sprintf("%d runs: %d ok, %d DNF", o.Total(), o.byStatus["ok"], o.DNF())
+	if r := o.Retried(); r > 0 {
+		s += fmt.Sprintf(", %d retried (max %d attempts)", r, o.attempts.Max())
+	}
+	return s
+}
+
 // SortRowsByColumn orders rows by the named column's string value;
 // useful for stable, diff-friendly experiment output.
 func (t *Table) SortRowsByColumn(header string) {
