@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON capture and appends it to a capture file, so the repository
+// records its performance trajectory (ns/op, B/op, allocs/op and custom
+// metrics like hm_speedup_pct) across PRs instead of losing it in CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -label after-refactor -out BENCH_2026-08-06.json
+//
+// The output file holds {"captures": [...]}: one entry per invocation, in
+// order, each with its label, timestamp, toolchain and benchmark table.
+// scripts/bench.sh wraps the whole flow.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value (ns/op, B/op, allocs/op, ...)
+}
+
+// Capture is one benchjson invocation.
+type Capture struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk shape of a capture file.
+type File struct {
+	Captures []Capture `json:"captures"`
+}
+
+func main() {
+	label := flag.String("label", "capture", "label for this capture (e.g. before-refactor)")
+	out := flag.String("out", "", "capture file to append to (default: stdout, single capture)")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	cap := Capture{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Benchmarks: benches,
+	}
+
+	var f File
+	if *out != "" {
+		if raw, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(raw, &f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s is not a capture file: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	f.Captures = append(f.Captures, cap)
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended capture %q (%d benchmarks) to %s\n",
+		cap.Label, len(benches), *out)
+}
+
+// parse extracts Benchmark lines ("BenchmarkX-8  N  v1 unit1  v2 unit2 ...")
+// from go test output, passing everything else through to stderr so a piped
+// run still shows progress and failures.
+func parse(r *os.File) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		b := Benchmark{
+			// Strip the -GOMAXPROCS suffix so captures on different hosts compare.
+			Name:       stripProcs(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes a trailing "-N" GOMAXPROCS suffix from a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

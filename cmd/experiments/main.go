@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/stats"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip finished runs")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	pprofOut := prof.AddFlags()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] %s|all\n", strings.Join(experiments.IDs(), "|"))
 		flag.PrintDefaults()
@@ -91,6 +93,10 @@ func main() {
 		ids = experiments.IDs()
 	}
 	start := time.Now()
+	if err := pprofOut.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			break
@@ -103,6 +109,7 @@ func main() {
 		}
 		fmt.Println(rep)
 	}
+	pprofOut.Stop() // profile covers the sweep, not the summary
 
 	// Closing summary: per-status outcome counts, attempt accounting and
 	// the DNF rows excluded from the aggregates.

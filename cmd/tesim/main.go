@@ -24,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/noc"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -64,6 +65,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
+	pprofOut := prof.AddFlags()
 	flag.Parse()
 
 	if *faultRate < 0 || *faultRate > 1 {
@@ -113,7 +115,12 @@ func main() {
 		}
 		cfgs[i] = cfg.WithWatchdog(*watchdog)
 	}
+	if err := pprofOut.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tesim:", err)
+		os.Exit(2)
+	}
 	outs := pool.DoAll(cfgs)
+	pprofOut.Stop() // profile covers the simulations, not the report
 
 	headers := []string{"bench", "config", "IPC", "icnt cycles", "net lat",
 		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status"}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// The golden digests below pin the bit-exact behaviour of seeded closed-loop
+// runs across the cycle-kernel refactor: any change to allocation order,
+// arbitration, queueing or traversal that alters a single flit movement shows
+// up as a digest mismatch. They were recorded before the hot path moved onto
+// flat allocator state, ring buffers and active-component lists, and every
+// stage of that refactor was required to keep them bit-identical (the same
+// bar PR 1 set for rate-0 fault injection).
+//
+// To re-record after an INTENTIONAL behaviour change (never to paper over an
+// unexplained mismatch), run:
+//
+//	GOLDEN_RECORD=1 go test -run TestGoldenDigests -v ./internal/core/
+//
+// and paste the printed table over goldenDigests.
+
+// goldenCase is one seeded configuration point in the determinism matrix.
+type goldenCase struct {
+	id    string
+	build func() Config
+}
+
+// goldenScale keeps each run to a fraction of a second while still driving
+// thousands of interconnect cycles through every router feature on the path.
+const goldenScale = 0.04
+
+func goldenMatrix() []goldenCase {
+	hh := quickProfile("HH") // memory-heavy: real contention in the mesh
+	ll := quickProfile("LL")
+	return []goldenCase{
+		{"baseline-dor", func() Config { return Baseline(hh).ScaleWork(goldenScale) }},
+		{"checkerboard-cr", func() Config { return Baseline(hh).WithCheckerboardRouting().ScaleWork(goldenScale) }},
+		{"double-net", func() Config {
+			return Baseline(hh).WithCheckerboardRouting().WithDoubleNetwork().ScaleWork(goldenScale)
+		}},
+		{"multiport-mc", func() Config { return Baseline(hh).WithMCInjectionPorts(2).ScaleWork(goldenScale) }},
+		{"faults-on", func() Config { return Baseline(ll).WithFaults(0.002, 7).ScaleWork(goldenScale) }},
+		{"gto-1cycle", func() Config {
+			c := Baseline(hh).With1CycleRouters().ScaleWork(goldenScale)
+			c.Core.Scheduler = 1 // gpu.SchedGTO without importing gpu here
+			return c
+		}},
+	}
+}
+
+// goldenDigests maps case id -> sha256 over the run's Result and per-node
+// flit counters, recorded at the pre-refactor seed state.
+var goldenDigests = map[string]string{
+	"baseline-dor":    "557ff6ccda4c9e8e662596e329c9c95542e3b3f911d64c908f956ffe0d5a8a0f",
+	"checkerboard-cr": "f97af32099319b5bde62319898fc2f0b32c9265bc3d494f6a49188f3bcd9ddf6",
+	"double-net":      "4efac4ba0ba848726ec33ed51a7da809d8e099b2e7fb4e58167c80dcd791d6fd",
+	"multiport-mc":    "e917e230040d206fb4bb39615daeb19934543aff21a2de7818d39ddffbea3fe5",
+	"faults-on":       "97847ca5ce152c9f81a316216a962a51d653cb447b99055b9276ac0dbef77d55",
+	"gto-1cycle":      "db76eefa868c75cd2876fed07c006084bd5cf30c63cc972fa965b11ec89a00d3",
+}
+
+// digestRun hashes everything observable about a seeded run: scalar results
+// (floats by their exact bit patterns), cycle counts, resilience counters and
+// the per-node injected/ejected flit and packet tallies.
+func digestRun(res Result, ns *noc.NetStats) string {
+	h := sha256.New()
+	wu := func(v uint64) { fmt.Fprintf(h, "%d,", v) }
+	wf := func(v float64) { fmt.Fprintf(h, "%x,", math.Float64bits(v)) }
+	fmt.Fprintf(h, "%s|%s|", res.Benchmark, res.Config)
+	wu(res.ScalarInstrs)
+	wu(res.CoreCycles)
+	wu(res.IcntCycles)
+	wf(res.IPC)
+	wf(res.AvgNetLatency)
+	wf(res.AcceptedBytes)
+	wf(res.MCStallFraction)
+	wf(res.MCInjRate)
+	wf(res.CoreInjRate)
+	wf(res.DRAMEfficiency)
+	wf(res.L1HitRate)
+	wf(res.L2HitRate)
+	fmt.Fprintf(h, "%s|", res.Status)
+	wu(res.RetxPackets)
+	wu(res.DroppedPackets)
+	wf(res.AvgRetries)
+	wu(ns.FlitHops)
+	wu(ns.CorruptFlits)
+	wu(ns.LostCredits)
+	wu(ns.StuckVCFaults)
+	for _, v := range ns.InjectedFlits {
+		wu(v)
+	}
+	for _, v := range ns.InjectedPackets {
+		wu(v)
+	}
+	for _, v := range ns.EjectedFlits {
+		wu(v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenDigests proves seeded runs are bit-identical to the recorded
+// pre-refactor behaviour across the configuration matrix.
+func TestGoldenDigests(t *testing.T) {
+	record := os.Getenv("GOLDEN_RECORD") != ""
+	for _, gc := range goldenMatrix() {
+		gc := gc
+		t.Run(gc.id, func(t *testing.T) {
+			sys, err := NewSystem(gc.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, runErr := sys.Run(nil)
+			if runErr != nil {
+				t.Fatalf("run degraded: %v", runErr)
+			}
+			got := digestRun(res, sys.NetStats())
+			if record {
+				fmt.Printf("\t%q: %q,\n", gc.id, got)
+				return
+			}
+			want, ok := goldenDigests[gc.id]
+			if !ok {
+				t.Fatalf("no golden digest recorded for %s", gc.id)
+			}
+			if got != want {
+				t.Errorf("digest mismatch for %s:\n got  %s\n want %s\n"+
+					"(a seeded run is no longer bit-identical; if the change is intentional, "+
+					"re-record with GOLDEN_RECORD=1)", gc.id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDigestsStable runs one matrix point twice and demands identical
+// digests, so flakiness in the harness itself (map iteration, pooling resets)
+// cannot masquerade as refactor-induced drift.
+func TestGoldenDigestsStable(t *testing.T) {
+	gc := goldenMatrix()[0]
+	var digests [2]string
+	for i := range digests {
+		sys, err := NewSystem(gc.build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, runErr := sys.Run(nil)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		digests[i] = digestRun(res, sys.NetStats())
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("same config, different digests: %s vs %s", digests[0], digests[1])
+	}
+}

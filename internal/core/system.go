@@ -83,6 +83,7 @@ type System struct {
 	mcs       []*mem.MCNode
 	mcOf      map[noc.NodeID]*mem.MCNode
 	mcNodes   []noc.NodeID
+	pool      noc.PacketPool // recycles request/reply packets across the run
 }
 
 // NewSystem builds the system for cfg.
@@ -163,6 +164,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		mc.SetPool(&s.pool)
 		s.mcs = append(s.mcs, mc)
 		s.mcOf[node] = mc
 		s.mcNodes = append(s.mcNodes, node)
@@ -359,6 +361,7 @@ func (s *System) injectCoreRequests() {
 			}
 			pkt := s.packetFor(s.coreNodes[i], req)
 			if !s.net.TryInject(pkt) {
+				s.pool.Put(pkt)
 				break
 			}
 			c.PopRequest()
@@ -371,28 +374,30 @@ func (s *System) packetFor(src noc.NodeID, req gpu.MemRequest) *noc.Packet {
 	if req.Write {
 		bytes = mem.WriteRequestBytes
 	}
-	return &noc.Packet{
-		Src:   src,
-		Dst:   s.mcNodes[s.mapper.MC(req.Line)],
-		Class: noc.ClassRequest,
-		Bytes: bytes,
-		Meta:  mem.Request{Line: req.Line, Write: req.Write},
-	}
+	pkt := s.pool.Get()
+	pkt.Src = src
+	pkt.Dst = s.mcNodes[s.mapper.MC(req.Line)]
+	pkt.Class = noc.ClassRequest
+	pkt.Bytes = bytes
+	pkt.Line = uint64(req.Line)
+	pkt.Write = req.Write
+	return pkt
 }
 
 func (s *System) deliver() {
 	for idx, node := range s.coreNodes {
 		for _, pkt := range s.net.Delivered(node) {
-			line, ok := pkt.Meta.(addr.Address)
-			if !ok {
+			if pkt.Class != noc.ClassReply {
 				panic(fmt.Sprintf("core: compute node %d received non-reply packet %d", node, pkt.ID))
 			}
-			s.cores[idx].DeliverFill(line)
+			s.cores[idx].DeliverFill(addr.Address(pkt.Line))
+			s.pool.Put(pkt)
 		}
 	}
 	for i, node := range s.mcNodes {
 		for _, pkt := range s.net.Delivered(node) {
-			s.mcs[i].AcceptRequest(pkt)
+			s.mcs[i].AcceptRequest(pkt) // copies the payload out
+			s.pool.Put(pkt)
 		}
 	}
 }
@@ -467,6 +472,11 @@ func (s *System) result(timedOut bool) Result {
 	}
 	return res
 }
+
+// NetStats exposes the interconnect's aggregate counters (per-node flit
+// tallies included), primarily for determinism digests and calibration
+// tooling. For double networks the snapshot merges both slices.
+func (s *System) NetStats() *noc.NetStats { return s.net.Stats() }
 
 // RowLocality returns the mean DRAM row-hit rate across channels (used by
 // calibration tooling).

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/cache"
+	"repro/internal/ring"
 	"repro/internal/workload"
 )
 
@@ -117,8 +118,8 @@ type Core struct {
 	mshr          *cache.MSHR
 	pendingStores map[addr.Address]bool // in-flight lines that must fill dirty
 
-	memQ          []memAccess // coalesced accesses awaiting the L1 port
-	outQ          []MemRequest
+	memQ          ring.Ring[memAccess]  // coalesced accesses awaiting the L1 port
+	outQ          ring.Ring[MemRequest] // grows past OutQueueCap only for write-backs
 	issueCooldown int
 
 	flushed  bool
@@ -151,6 +152,8 @@ func New(cfg Config, gen *workload.Generator) (*Core, error) {
 		l1:            l1,
 		mshr:          cache.MustNewMSHR(cfg.MSHRs, cfg.MSHRMergeCap),
 		pendingStores: make(map[addr.Address]bool),
+		memQ:          ring.New[memAccess](16, 0),
+		outQ:          ring.New[MemRequest](cfg.OutQueueCap, 0),
 	}, nil
 }
 
@@ -168,7 +171,7 @@ func (c *Core) Tick() {
 	c.stats.Cycles++
 	c.issue()
 	c.memoryUnit()
-	if !c.flushed && c.gen.AllDone() && c.allWarpsIdle() && len(c.memQ) == 0 {
+	if !c.flushed && c.gen.AllDone() && c.allWarpsIdle() && c.memQ.Len() == 0 {
 		c.flushDirty()
 	}
 }
@@ -262,21 +265,20 @@ func (c *Core) memoryUnit() {
 	for w := range c.warps {
 		ws := &c.warps[w]
 		for _, line := range ws.pendingLines {
-			c.memQ = append(c.memQ, memAccess{warp: w, line: line, write: ws.pendingWrite})
+			c.memQ.Push(memAccess{warp: w, line: line, write: ws.pendingWrite})
 			ws.outstanding++
 		}
 		ws.pendingLines = ws.pendingLines[:0]
 	}
-	if len(c.memQ) == 0 {
+	if c.memQ.Len() == 0 {
 		return
 	}
-	acc := c.memQ[0]
-	if !c.tryAccess(acc) {
+	if !c.tryAccess(*c.memQ.Front()) {
 		c.stats.MemStallFull++
 		return
 	}
 	c.progress++
-	c.memQ = c.memQ[:copy(c.memQ, c.memQ[1:])]
+	c.memQ.Pop()
 }
 
 // tryAccess performs one L1 access; false means the access must retry
@@ -294,12 +296,12 @@ func (c *Core) tryAccess(acc memAccess) bool {
 			return false
 		}
 	} else {
-		if c.mshr.Full() || len(c.outQ) >= c.cfg.OutQueueCap {
+		if c.mshr.Full() || c.outQ.Len() >= c.cfg.OutQueueCap {
 			c.stats.LineAccesses--
 			return false
 		}
 		c.mshr.Allocate(acc.line, cache.Waiter(acc.warp))
-		c.outQ = append(c.outQ, MemRequest{Line: acc.line})
+		c.outQ.Push(MemRequest{Line: acc.line})
 	}
 	if acc.write {
 		c.pendingStores[acc.line] = true
@@ -314,7 +316,7 @@ func (c *Core) DeliverFill(line addr.Address) {
 	delete(c.pendingStores, line)
 	if wb {
 		// Write-backs bypass the read-request cap: they carry the line out.
-		c.outQ = append(c.outQ, MemRequest{Line: victim, Write: true})
+		c.outQ.Push(MemRequest{Line: victim, Write: true})
 	}
 	for _, w := range c.mshr.Fill(line) {
 		c.warps[w].outstanding--
@@ -323,20 +325,18 @@ func (c *Core) DeliverFill(line addr.Address) {
 
 // PopRequest removes the next outbound memory request, if any.
 func (c *Core) PopRequest() (MemRequest, bool) {
-	if len(c.outQ) == 0 {
+	if c.outQ.Len() == 0 {
 		return MemRequest{}, false
 	}
-	req := c.outQ[0]
-	c.outQ = c.outQ[:copy(c.outQ, c.outQ[1:])]
-	return req, true
+	return c.outQ.Pop(), true
 }
 
 // PeekRequest returns the next outbound request without removing it.
 func (c *Core) PeekRequest() (MemRequest, bool) {
-	if len(c.outQ) == 0 {
+	if c.outQ.Len() == 0 {
 		return MemRequest{}, false
 	}
-	return c.outQ[0], true
+	return *c.outQ.Front(), true
 }
 
 func (c *Core) allWarpsIdle() bool {
@@ -353,7 +353,7 @@ func (c *Core) allWarpsIdle() bool {
 // software-managed coherence flush, §II).
 func (c *Core) flushDirty() {
 	for _, line := range c.l1.FlushDirty() {
-		c.outQ = append(c.outQ, MemRequest{Line: line, Write: true})
+		c.outQ.Push(MemRequest{Line: line, Write: true})
 	}
 	c.flushed = true
 }
@@ -361,8 +361,8 @@ func (c *Core) flushDirty() {
 // Done reports whether the kernel finished: all instructions issued, all
 // fetches returned, the end-of-kernel flush emitted, and nothing queued.
 func (c *Core) Done() bool {
-	return c.gen.AllDone() && c.allWarpsIdle() && len(c.memQ) == 0 &&
-		c.flushed && len(c.outQ) == 0 && c.mshr.InFlight() == 0
+	return c.gen.AllDone() && c.allWarpsIdle() && c.memQ.Len() == 0 &&
+		c.flushed && c.outQ.Len() == 0 && c.mshr.InFlight() == 0
 }
 
 // Progress returns a monotonic counter of forward progress (instructions

@@ -59,7 +59,7 @@ func runToCompletion(t *testing.T, c *Core, memLatency int, maxCycles int) Stats
 		}
 	}
 	t.Fatalf("core did not finish in %d cycles (warps idle=%v, mshr=%d, outQ=%d)",
-		maxCycles, c.allWarpsIdle(), c.mshr.InFlight(), len(c.outQ))
+		maxCycles, c.allWarpsIdle(), c.mshr.InFlight(), c.outQ.Len())
 	return Stats{}
 }
 
@@ -262,8 +262,8 @@ func TestOutQueueBackpressureStallsCore(t *testing.T) {
 	for cyc := 0; cyc < 5000; cyc++ {
 		c.Tick()
 	}
-	if len(c.outQ) > cfg.OutQueueCap {
-		t.Errorf("out queue grew to %d despite cap %d", len(c.outQ), cfg.OutQueueCap)
+	if c.outQ.Len() > cfg.OutQueueCap {
+		t.Errorf("out queue grew to %d despite cap %d", c.outQ.Len(), cfg.OutQueueCap)
 	}
 	if c.Done() {
 		t.Error("core finished without any memory service")

@@ -15,12 +15,24 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/noc"
+	"repro/internal/ring"
 )
 
-// Request is the payload of a memory request packet (stored in Packet.Meta).
+// Request describes one memory request. The hot path carries its fields in
+// the typed Packet.Line/Packet.Write slots (boxing a struct into Packet.Meta
+// allocates per packet); the type remains for harnesses that prefer Meta.
 type Request struct {
 	Line  addr.Address
 	Write bool
+}
+
+// inReq is an accepted request waiting for L2 bank service. Requests are
+// copied out of their packets at acceptance so the packet object can be
+// recycled immediately.
+type inReq struct {
+	line  addr.Address
+	write bool
+	src   noc.NodeID
 }
 
 // ReplyBytes is the size of a read-reply packet (§III-D).
@@ -83,10 +95,14 @@ type MCNode struct {
 	l2mshr *cache.MSHR
 	ctl    *dram.Controller
 
-	inQ    []*noc.Packet
-	hitQ   []timedReply // L2 hits waiting out the bank latency
-	replyQ []timedReply // ready to inject
-	writeQ []addr.Address
+	inQ    ring.Ring[inReq]
+	hitQ   ring.Ring[timedReply]   // L2 hits waiting out the bank latency
+	replyQ ring.Ring[timedReply]   // ready to inject
+	writeQ ring.Ring[addr.Address] // victim lines awaiting DRAM write-back
+
+	// pool recycles packet objects for injected replies; nil falls back to
+	// plain allocation (standalone MC nodes in tests).
+	pool *noc.PacketPool
 
 	stats    Stats
 	progress uint64 // monotonic work counter for the system stall watchdog
@@ -111,6 +127,10 @@ func New(cfg Config, node noc.NodeID, mapper *addr.Mapper) (*MCNode, error) {
 		l2:     l2,
 		l2mshr: cache.MustNewMSHR(cfg.L2MSHRs, 0),
 		ctl:    ctl,
+		inQ:    ring.New[inReq](16, 0),
+		hitQ:   ring.New[timedReply](16, 0),
+		replyQ: ring.New[timedReply](16, 0),
+		writeQ: ring.New[addr.Address](8, 0),
 	}, nil
 }
 
@@ -126,12 +146,19 @@ func MustNew(cfg Config, node noc.NodeID, mapper *addr.Mapper) *MCNode {
 // Node returns the MC's mesh tile.
 func (m *MCNode) Node() noc.NodeID { return m.node }
 
-// AcceptRequest takes ownership of an ejected request packet.
+// SetPool installs a packet pool for reply injection. The system harness
+// shares one pool across the whole simulation so the steady-state cycle
+// loop allocates no packets.
+func (m *MCNode) SetPool(pool *noc.PacketPool) { m.pool = pool }
+
+// AcceptRequest consumes an ejected request packet, copying its payload
+// (Packet.Line, Packet.Write, Packet.Src) into the service queue. The
+// packet is NOT retained: the caller may recycle it immediately.
 func (m *MCNode) AcceptRequest(pkt *noc.Packet) {
-	if _, ok := pkt.Meta.(Request); !ok {
-		panic(fmt.Sprintf("mem: packet %d has no Request payload", pkt.ID))
+	if pkt.Class != noc.ClassRequest {
+		panic(fmt.Sprintf("mem: packet %d is not a request", pkt.ID))
 	}
-	m.inQ = append(m.inQ, pkt)
+	m.inQ.Push(inReq{line: addr.Address(pkt.Line), write: pkt.Write, src: pkt.Src})
 	m.progress++
 }
 
@@ -149,91 +176,97 @@ func (m *MCNode) TickIcnt(cycle uint64, net noc.Network) {
 
 // serviceOne processes the oldest ejected request through the L2 bank.
 func (m *MCNode) serviceOne(cycle uint64) {
-	if len(m.inQ) == 0 {
+	if m.inQ.Len() == 0 {
 		return
 	}
-	pkt := m.inQ[0]
-	req := pkt.Meta.(Request)
-	if req.Write {
+	req := *m.inQ.Front()
+	if req.write {
 		m.stats.Writes++
 		// Write-backs carry a full line: write-validate without fetching.
-		if !m.l2.Access(req.Line, true) {
-			if victim, wb := m.l2.Fill(req.Line, true); wb {
-				m.writeQ = append(m.writeQ, victim)
+		if !m.l2.Access(req.line, true) {
+			if victim, wb := m.l2.Fill(req.line, true); wb {
+				m.writeQ.Push(victim)
 			}
 		}
 		m.popInQ()
 		return
 	}
 	m.stats.Requests++
-	if m.l2.Access(req.Line, false) {
-		m.hitQ = append(m.hitQ, timedReply{due: cycle + m.cfg.L2Latency, line: req.Line, requester: pkt.Src})
+	if m.l2.Access(req.line, false) {
+		m.hitQ.Push(timedReply{due: cycle + m.cfg.L2Latency, line: req.line, requester: req.src})
 		m.popInQ()
 		return
 	}
 	// L2 miss: merge or fetch from DRAM.
-	if m.l2mshr.Pending(req.Line) {
-		if m.l2mshr.Allocate(req.Line, cache.Waiter(pkt.Src)) == cache.AllocStallFull {
+	if m.l2mshr.Pending(req.line) {
+		if m.l2mshr.Allocate(req.line, cache.Waiter(req.src)) == cache.AllocStallFull {
 			m.stats.Requests--
 			return // retry next cycle
 		}
 	} else {
-		if m.l2mshr.Full() || !m.ctl.Enqueue(dram.Request{Addr: req.Line, Meta: req.Line}) {
+		if m.l2mshr.Full() || !m.ctl.Enqueue(dram.Request{Addr: req.line}) {
 			m.stats.Requests--
 			return // DRAM queue backpressure; retry next cycle
 		}
-		m.l2mshr.Allocate(req.Line, cache.Waiter(pkt.Src))
+		m.l2mshr.Allocate(req.line, cache.Waiter(req.src))
 	}
 	m.popInQ()
 }
 
 func (m *MCNode) popInQ() {
-	m.inQ = m.inQ[:copy(m.inQ, m.inQ[1:])]
+	m.inQ.Pop()
 	m.progress++
 }
 
-// promoteHits moves matured L2 hits into the reply queue.
+// promoteHits moves matured L2 hits into the reply queue (due times are
+// monotonic, so popping stops at the first immature entry).
 func (m *MCNode) promoteHits(cycle uint64) {
-	n := 0
-	for _, h := range m.hitQ {
-		if h.due <= cycle {
-			m.replyQ = append(m.replyQ, h)
-			n++
-		} else {
-			break
-		}
-	}
-	if n > 0 {
-		m.hitQ = m.hitQ[:copy(m.hitQ, m.hitQ[n:])]
+	for m.hitQ.Len() > 0 && m.hitQ.Front().due <= cycle {
+		m.replyQ.Push(m.hitQ.Pop())
 	}
 }
 
 // injectReplies pushes ready replies into the network until it refuses.
 func (m *MCNode) injectReplies(cycle uint64, net noc.Network) {
-	for len(m.replyQ) > 0 {
-		r := m.replyQ[0]
-		pkt := &noc.Packet{
-			Src:   m.node,
-			Dst:   r.requester,
-			Class: noc.ClassReply,
-			Bytes: ReplyBytes,
-			Meta:  r.line,
-		}
+	for m.replyQ.Len() > 0 {
+		r := *m.replyQ.Front()
+		pkt := m.getPacket()
+		pkt.Src = m.node
+		pkt.Dst = r.requester
+		pkt.Class = noc.ClassReply
+		pkt.Bytes = ReplyBytes
+		pkt.Line = uint64(r.line)
 		if !net.TryInject(pkt) {
+			m.putPacket(pkt)
 			m.stats.StallCycles++
 			return
 		}
 		m.stats.RepliesInjected++
 		m.progress++
-		m.replyQ = m.replyQ[:copy(m.replyQ, m.replyQ[1:])]
+		m.replyQ.Pop()
+	}
+}
+
+// getPacket draws a zeroed packet from the pool, or allocates without one.
+func (m *MCNode) getPacket() *noc.Packet {
+	if m.pool != nil {
+		return m.pool.Get()
+	}
+	return &noc.Packet{}
+}
+
+// putPacket returns a packet the network refused.
+func (m *MCNode) putPacket(p *noc.Packet) {
+	if m.pool != nil {
+		m.pool.Put(p)
 	}
 }
 
 // TickDRAM advances the GDDR3 channel one DRAM clock: completed reads fill
 // the L2 and produce replies; pending write-backs drain into the channel.
 func (m *MCNode) TickDRAM() {
-	for len(m.writeQ) > 0 && m.ctl.Enqueue(dram.Request{Addr: m.writeQ[0], IsWrite: true}) {
-		m.writeQ = m.writeQ[:copy(m.writeQ, m.writeQ[1:])]
+	for m.writeQ.Len() > 0 && m.ctl.Enqueue(dram.Request{Addr: *m.writeQ.Front(), IsWrite: true}) {
+		m.writeQ.Pop()
 		m.progress++
 	}
 	for _, done := range m.ctl.Tick() {
@@ -241,20 +274,20 @@ func (m *MCNode) TickDRAM() {
 		if done.IsWrite {
 			continue
 		}
-		line := done.Meta.(addr.Address)
+		line := done.Addr // reads carry the line address; no Meta boxing
 		if victim, wb := m.l2.Fill(line, false); wb {
-			m.writeQ = append(m.writeQ, victim)
+			m.writeQ.Push(victim)
 		}
 		for _, w := range m.l2mshr.Fill(line) {
-			m.replyQ = append(m.replyQ, timedReply{line: line, requester: noc.NodeID(w)})
+			m.replyQ.Push(timedReply{line: line, requester: noc.NodeID(w)})
 		}
 	}
 }
 
 // Busy reports whether the MC holds or awaits any work.
 func (m *MCNode) Busy() bool {
-	return len(m.inQ) > 0 || len(m.hitQ) > 0 || len(m.replyQ) > 0 ||
-		len(m.writeQ) > 0 || m.ctl.Busy() || m.l2mshr.InFlight() > 0
+	return m.inQ.Len() > 0 || m.hitQ.Len() > 0 || m.replyQ.Len() > 0 ||
+		m.writeQ.Len() > 0 || m.ctl.Busy() || m.l2mshr.InFlight() > 0
 }
 
 // Progress returns a monotonic counter of work the MC has completed

@@ -22,7 +22,7 @@ func reqPacket(line addr.Address, write bool, src noc.NodeID) *noc.Packet {
 		bytes = WriteRequestBytes
 	}
 	return &noc.Packet{Src: src, Dst: 1, Class: noc.ClassRequest, Bytes: bytes,
-		Meta: Request{Line: line, Write: write}}
+		Line: uint64(line), Write: write}
 }
 
 // run drives the MC with a perfect network for n icnt cycles, ticking DRAM
@@ -59,14 +59,14 @@ func TestValidation(t *testing.T) {
 	}
 }
 
-func TestAcceptRequiresPayload(t *testing.T) {
+func TestAcceptRequiresRequestClass(t *testing.T) {
 	m := newTestMC(t)
 	defer func() {
 		if recover() == nil {
-			t.Error("packet without Request payload accepted")
+			t.Error("non-request packet accepted")
 		}
 	}()
-	m.AcceptRequest(&noc.Packet{})
+	m.AcceptRequest(&noc.Packet{Class: noc.ClassReply})
 }
 
 func TestReadMissProducesReply(t *testing.T) {

@@ -1,5 +1,7 @@
 package noc
 
+import "repro/internal/ring"
+
 // flitEvent is a flit in flight on a channel, delivered when due <= cycle.
 type flitEvent struct {
 	flit Flit
@@ -7,15 +9,20 @@ type flitEvent struct {
 }
 
 // channel is a unidirectional link between two routers (or from a router to
-// its local ejection queue). Flits arrive after the link latency.
+// its local ejection queue). Flits arrive after the link latency. The event
+// queue is a hard-bounded ring: wire occupancy per VC is credit-limited to
+// the downstream buffer depth, so numVCs*bufDepth flits is a proven bound.
 type channel struct {
+	net     *meshNet
+	idx     int // index into net.flitChans, for the active list
 	dst     *router
 	dstPort int // input port index at dst
-	q       []flitEvent
+	q       ring.Ring[flitEvent]
 }
 
 func (c *channel) send(f Flit, due uint64) {
-	c.q = append(c.q, flitEvent{flit: f, due: due})
+	c.q.Push(flitEvent{flit: f, due: due})
+	c.net.flitActive.set(c.idx)
 }
 
 // deliver moves all arrived flits into the destination input buffers.
@@ -25,20 +32,12 @@ func (c *channel) send(f Flit, due uint64) {
 // on (flow control acknowledges it), but poisons its packet for the
 // end-to-end check at the ejection interface.
 func (c *channel) deliver(cycle uint64) {
-	n := 0
-	for _, ev := range c.q {
-		if ev.due <= cycle {
-			if fs := c.dst.net.fs; fs != nil {
-				fs.corruptDelivery(c.dst.net, &ev.flit)
-			}
-			c.dst.acceptFlit(c.dstPort, ev.flit, cycle)
-			n++
-		} else {
-			break
+	for c.q.Len() > 0 && c.q.Front().due <= cycle {
+		ev := c.q.Pop()
+		if fs := c.dst.net.fs; fs != nil {
+			fs.corruptDelivery(c.dst.net, &ev.flit)
 		}
-	}
-	if n > 0 {
-		c.q = c.q[:copy(c.q, c.q[n:])]
+		c.dst.acceptFlit(c.dstPort, ev.flit, cycle)
 	}
 }
 
@@ -49,11 +48,15 @@ type creditEvent struct {
 }
 
 // creditChannel carries credits back along a link: dst is the upstream
-// router and dstPort its output port feeding the link.
+// router and dstPort its output port feeding the link. Credit conservation
+// bounds the in-flight credits per VC by the buffer depth, so the ring is
+// hard-bounded at numVCs*bufDepth like the flit channel.
 type creditChannel struct {
+	net     *meshNet
+	idx     int // index into net.credChans, for the active list
 	dst     *router
 	dstPort int
-	q       []creditEvent
+	q       ring.Ring[creditEvent]
 }
 
 // send queues one credit. A credit-loss fault delays it by the resync
@@ -63,20 +66,25 @@ func (c *creditChannel) send(vc int, due uint64) {
 	if fs := c.dst.net.fs; fs != nil {
 		due += fs.delayCredit(c.dst.net)
 	}
-	c.q = append(c.q, creditEvent{vc: vc, due: due})
+	c.q.Push(creditEvent{vc: vc, due: due})
+	c.net.credActive.set(c.idx)
 }
 
 // deliver returns all due credits. Resync-delayed credits make due values
-// non-monotonic, so the whole queue is scanned; credits on one VC are
-// fungible, and the scan order is the deterministic send order.
+// non-monotonic, so the whole queue is scanned, compacting the not-yet-due
+// remainder in place; credits on one VC are fungible, and the scan order is
+// the deterministic send order.
 func (c *creditChannel) deliver(cycle uint64) {
-	kept := c.q[:0]
-	for _, ev := range c.q {
+	kept := 0
+	n := c.q.Len()
+	for i := 0; i < n; i++ {
+		ev := *c.q.At(i)
 		if ev.due <= cycle {
 			c.dst.acceptCredit(c.dstPort, ev.vc)
 		} else {
-			kept = append(kept, ev)
+			*c.q.At(kept) = ev
+			kept++
 		}
 	}
-	c.q = kept
+	c.q.Truncate(kept)
 }

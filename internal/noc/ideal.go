@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
 
 // Ideal is a zero-latency network with an optional aggregate bandwidth cap,
 // used for the paper's limit studies: Fig 6 sweeps the cap (in flits per
@@ -14,8 +18,9 @@ type Ideal struct {
 	flitBytes int
 	cap       float64 // flits/cycle accepted; <= 0 means infinite
 	budget    float64
-	pending   []*Packet
+	pending   ring.Ring[*Packet] // grows on demand; steady state never reallocates
 	delivered [][]*Packet
+	spare     [][]*Packet // double-buffers delivered batches per node
 	cycle     uint64
 	active    int
 	nextPkt   uint64
@@ -29,7 +34,9 @@ func NewIdeal(numNodes, flitBytes int, flitsPerCycleCap float64) (*Ideal, error)
 		return nil, fmt.Errorf("noc: ideal network needs positive node count and flit size")
 	}
 	n := &Ideal{numNodes: numNodes, flitBytes: flitBytes, cap: flitsPerCycleCap}
+	n.pending = ring.New[*Packet](16, 0)
 	n.delivered = make([][]*Packet, numNodes)
+	n.spare = make([][]*Packet, numNodes)
 	n.stats.InjectedFlits = make([]uint64, numNodes)
 	n.stats.InjectedPackets = make([]uint64, numNodes)
 	n.stats.InjectedBytes = make([]uint64, numNodes)
@@ -58,7 +65,7 @@ func (n *Ideal) TryInject(p *Packet) bool {
 	p.ID = n.nextPkt
 	n.nextPkt++
 	p.OfferedAt = n.cycle
-	n.pending = append(n.pending, p)
+	n.pending.Push(p)
 	n.active++
 	return true
 }
@@ -76,12 +83,11 @@ func (n *Ideal) Tick() {
 			n.budget = n.cap
 		}
 	}
-	i := 0
-	for ; i < len(n.pending); i++ {
+	for n.pending.Len() > 0 {
 		if n.cap > 0 && n.budget <= 0 {
 			break
 		}
-		p := n.pending[i]
+		p := n.pending.Pop()
 		flits := flitCount(p.Bytes, n.flitBytes)
 		p.flits = flits
 		if n.cap > 0 {
@@ -99,13 +105,15 @@ func (n *Ideal) Tick() {
 		n.stats.LatencyByClass[p.Class].Add(0)
 		n.active--
 	}
-	n.pending = n.pending[:copy(n.pending, n.pending[i:])]
 }
 
-// Delivered returns and clears packets delivered at node.
+// Delivered returns and clears packets delivered at node. The batch is
+// double-buffered per node: the returned slice is valid until the next
+// Delivered call for the same node.
 func (n *Ideal) Delivered(node NodeID) []*Packet {
 	out := n.delivered[node]
-	n.delivered[node] = nil
+	n.delivered[node] = n.spare[node][:0]
+	n.spare[node] = out
 	return out
 }
 

@@ -1,9 +1,15 @@
 package noc
 
-// injWriter streams one packet's flits into an injection buffer VC.
+import "repro/internal/ring"
+
+// injWriter streams one packet's flits into an injection buffer VC. Flits
+// are synthesized on the fly from (pkt, next) rather than materialized as a
+// slice, so starting a packet allocates nothing. A writer with pkt == nil
+// is free.
 type injWriter struct {
-	flits []Flit
-	next  int
+	pkt   *Packet
+	next  int // next flit sequence to write
+	total int // flit count of pkt
 	vc    int
 }
 
@@ -12,23 +18,40 @@ type injWriter struct {
 // side. Each injection port writes at most one flit per cycle, so a 2-port
 // MC router has twice the terminal injection bandwidth (§IV-D).
 type netIface struct {
-	node      NodeID
-	rtr       *router
-	net       *meshNet
-	srcQ      [NumClasses][]*Packet
-	writers   [][]*injWriter // [injPort][vc]
-	classRR   int
-	asm       map[uint64]int
+	node    NodeID
+	rtr     *router
+	net     *meshNet
+	srcQ    [NumClasses]ring.Ring[*Packet]
+	writers [][]injWriter // [injPort][vc]
+	pend    int           // queued packets + in-progress writers; injectStep is a no-op at 0
+	classRR int
+	asm     map[uint64]int
+
+	// delivered/spare double-buffer the per-tick delivery batch: Delivered
+	// swaps them instead of dropping the slice, so the steady state reuses
+	// two backing arrays per node instead of allocating one per batch.
 	delivered []*Packet
+	spare     []*Packet
 }
 
 func newNetIface(node NodeID, rtr *router, net *meshNet) *netIface {
 	ni := &netIface{node: node, rtr: rtr, net: net, asm: make(map[uint64]int)}
-	ni.writers = make([][]*injWriter, rtr.p.nInj)
+	for c := range ni.srcQ {
+		ni.srcQ[c] = ring.New[*Packet](net.cfg.SrcQueueCap, net.cfg.SrcQueueCap)
+	}
+	ni.writers = make([][]injWriter, rtr.p.nInj)
 	for p := range ni.writers {
-		ni.writers[p] = make([]*injWriter, rtr.p.numVCs)
+		ni.writers[p] = make([]injWriter, rtr.p.numVCs)
 	}
 	return ni
+}
+
+// enqueue appends p to its class's source queue and marks the interface
+// active. The caller has already checked CanInject.
+func (ni *netIface) enqueue(p *Packet) {
+	ni.srcQ[p.Class].Push(p)
+	ni.pend++
+	ni.net.injActive.set(int(ni.node))
 }
 
 // injectStep advances injection by up to one flit per port.
@@ -44,8 +67,9 @@ func (ni *netIface) injectStep(cycle uint64) {
 // continueWrite pushes the next flit of an in-progress packet on port,
 // returning whether a flit was written.
 func (ni *netIface) continueWrite(port int, cycle uint64) bool {
-	for v, w := range ni.writers[port] {
-		if w == nil {
+	for v := range ni.writers[port] {
+		w := &ni.writers[port][v]
+		if w.pkt == nil {
 			continue
 		}
 		if ni.rtr.injSpace(port, v) == 0 {
@@ -62,22 +86,23 @@ func (ni *netIface) continueWrite(port int, cycle uint64) bool {
 func (ni *netIface) startWrite(port int, cycle uint64) {
 	for k := 0; k < int(NumClasses); k++ {
 		class := TrafficClass((ni.classRR + k) % int(NumClasses))
-		q := ni.srcQ[class]
-		if len(q) == 0 {
+		q := &ni.srcQ[class]
+		if q.Len() == 0 {
 			continue
 		}
-		pkt := q[0]
+		pkt := *q.Front()
 		vc := ni.pickInjVC(port, pkt)
 		if vc < 0 {
 			continue
 		}
-		ni.srcQ[class] = q[1:]
+		q.Pop() // the packet stays counted in pend until its writer finishes
 		ni.classRR = (int(class) + 1) % int(NumClasses)
 		pkt.InjectedAt = cycle
+		pkt.flits = flitCount(pkt.Bytes, ni.net.cfg.FlitBytes)
 		ni.net.stats.InjectedPackets[ni.node]++
 		ni.net.stats.InjectedBytes[ni.node] += uint64(pkt.Bytes)
-		w := &injWriter{flits: makeFlits(pkt, ni.net.cfg.FlitBytes), vc: vc}
-		ni.writers[port][vc] = w
+		w := &ni.writers[port][vc]
+		*w = injWriter{pkt: pkt, total: pkt.flits, vc: vc}
 		ni.writeFlit(port, w, cycle)
 		return
 	}
@@ -87,7 +112,7 @@ func (ni *netIface) startWrite(port int, cycle uint64) {
 // writer on this port and at least one free buffer slot, or -1.
 func (ni *netIface) pickInjVC(port int, pkt *Packet) int {
 	for _, v := range ni.net.vcs.allowed(pkt.Class, pkt.YXPhase) {
-		if ni.writers[port][v] == nil && ni.rtr.injSpace(port, v) > 0 {
+		if ni.writers[port][v].pkt == nil && ni.rtr.injSpace(port, v) > 0 {
 			return v
 		}
 	}
@@ -95,14 +120,20 @@ func (ni *netIface) pickInjVC(port int, pkt *Packet) int {
 }
 
 func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
-	f := w.flits[w.next]
-	f.VC = w.vc
+	f := Flit{
+		Pkt:  w.pkt,
+		Seq:  w.next,
+		Head: w.next == 0,
+		Tail: w.next == w.total-1,
+		VC:   w.vc,
+	}
 	ni.rtr.injectFlit(port, f, cycle)
 	w.next++
 	ni.net.stats.InjectedFlits[ni.node]++
 	ni.net.moveCount++
-	if w.next == len(w.flits) {
-		ni.writers[port][w.vc] = nil
+	if w.next == w.total {
+		w.pkt = nil
+		ni.pend--
 	}
 }
 

@@ -38,15 +38,15 @@ func checkCreditConservation(t *testing.T, m *Mesh, cycle int) {
 			for vc := 0; vc < n.cfg.NumVCs; vc++ {
 				credits := r.outputs[d][vc].credits
 				onWire := 0
-				for _, ev := range ch.q {
-					if ev.flit.VC == vc {
+				for i := 0; i < ch.q.Len(); i++ {
+					if ch.q.At(i).flit.VC == vc {
 						onWire++
 					}
 				}
-				buffered := len(down.inputs[ch.dstPort][vc].buf)
+				buffered := down.inputs[ch.dstPort][vc].buf.Len()
 				creditsBack := 0
-				for _, ev := range back.q {
-					if ev.vc == vc {
+				for i := 0; i < back.q.Len(); i++ {
+					if back.q.At(i).vc == vc {
 						creditsBack++
 					}
 				}
@@ -150,7 +150,9 @@ func TestVCClassIsolation(t *testing.T) {
 		for id, r := range m.meshNet.routers {
 			for in := 0; in < r.nIn; in++ {
 				for vc := 0; vc < cfg.NumVCs; vc++ {
-					for _, f := range r.inputs[in][vc].buf {
+					buf := &r.inputs[in][vc].buf
+					for i := 0; i < buf.Len(); i++ {
+						f := buf.At(i)
 						wantVC := 0
 						if f.Pkt.Class == ClassReply {
 							wantVC = 1
@@ -189,21 +191,22 @@ func TestWormholeContiguityPerVC(t *testing.T) {
 		for _, r := range m.meshNet.routers {
 			for in := 0; in < r.nIn; in++ {
 				for vc := 0; vc < cfg.NumVCs; vc++ {
-					buf := r.inputs[in][vc].buf
-					for i := 1; i < len(buf); i++ {
-						if buf[i].Pkt == buf[i-1].Pkt {
-							if buf[i].Seq != buf[i-1].Seq+1 {
+					buf := &r.inputs[in][vc].buf
+					for i := 1; i < buf.Len(); i++ {
+						cur, prev := buf.At(i), buf.At(i-1)
+						if cur.Pkt == prev.Pkt {
+							if cur.Seq != prev.Seq+1 {
 								t.Fatalf("out-of-order flits of pkt %d: %d after %d",
-									buf[i].Pkt.ID, buf[i].Seq, buf[i-1].Seq)
+									cur.Pkt.ID, cur.Seq, prev.Seq)
 							}
-						} else if !buf[i].Head {
+						} else if !cur.Head {
 							// A different packet may only start at a head flit.
-							if buf[i-1].Tail {
+							if prev.Tail {
 								t.Fatalf("non-head flit of pkt %d follows tail of pkt %d",
-									buf[i].Pkt.ID, buf[i-1].Pkt.ID)
+									cur.Pkt.ID, prev.Pkt.ID)
 							}
 							t.Fatalf("interleaved packets %d and %d in one VC",
-								buf[i-1].Pkt.ID, buf[i].Pkt.ID)
+								prev.Pkt.ID, cur.Pkt.ID)
 						}
 					}
 				}

@@ -1,0 +1,136 @@
+package noc
+
+import "testing"
+
+// BenchmarkCycleKernel measures the steady-state cost of one interconnect
+// cycle (one op = one Tick) under a closed-loop request/reply protocol:
+// every compute node keeps a fixed number of read requests outstanding to
+// the memory-controller tiles, and each MC echoes a 4-flit reply. The
+// harness itself is allocation-free (packet pool, preallocated backlogs),
+// so allocs/op isolates the cycle kernel's own heap traffic — the number
+// the allocation-free refactor drives to zero.
+//
+// Capture before/after numbers with scripts/bench.sh (emits BENCH_<date>.json).
+func BenchmarkCycleKernel(b *testing.B) {
+	b.Run("low-load", func(b *testing.B) { benchCycleKernel(b, DefaultConfig(), 1) })
+	b.Run("high-load", func(b *testing.B) { benchCycleKernel(b, DefaultConfig(), 8) })
+	b.Run("checkerboard", func(b *testing.B) {
+		cfg := DefaultConfig()
+		cfg.Checkerboard = true
+		cfg.Routing = RoutingCheckerboard
+		cfg.NumVCs = 4
+		cfg.MCs = CheckerboardPlacement(6, 6, 8)
+		cfg.MCInjPorts = 2
+		benchCycleKernel(b, cfg, 4)
+	})
+	// Convergence tail: the network drains after a burst, so most tiles are
+	// idle most cycles — the case active-component lists exist for.
+	b.Run("drain-tail", func(b *testing.B) { benchDrainTail(b, DefaultConfig()) })
+}
+
+// benchCycleKernel drives cfg with `outstanding` requests in flight per
+// compute node, warms the queues to steady state, then times b.N ticks.
+func benchCycleKernel(b *testing.B, cfg Config, outstanding int) {
+	m := MustNewMesh(cfg)
+	topo := m.Topology()
+	comp := topo.ComputeNodes()
+	mcs := topo.MCs()
+	var pool PacketPool
+	inflight := make([]int, len(comp))
+	// Reply backlog per MC, preallocated to the in-flight bound so the
+	// harness never allocates mid-measurement.
+	backlog := make([][]*Packet, len(mcs))
+	for i := range backlog {
+		backlog[i] = make([]*Packet, 0, outstanding*len(comp))
+	}
+	rr := 0
+
+	tick := func() {
+		for i, c := range comp {
+			for inflight[i] < outstanding {
+				p := pool.Get()
+				p.Src, p.Dst = c, mcs[rr%len(mcs)]
+				p.Class, p.Bytes = ClassRequest, 8
+				p.Line = uint64(i) // requester index rides in the typed payload
+				rr++
+				if !m.TryInject(p) {
+					pool.Put(p)
+					break
+				}
+				inflight[i]++
+			}
+		}
+		for j, mc := range mcs {
+			for _, pkt := range m.Delivered(mc) {
+				r := pool.Get()
+				r.Src, r.Dst = mc, pkt.Src
+				r.Class, r.Bytes = ClassReply, 64
+				r.Line = pkt.Line
+				backlog[j] = append(backlog[j], r)
+				pool.Put(pkt)
+			}
+			q := backlog[j]
+			n := 0
+			for _, r := range q {
+				if !m.TryInject(r) {
+					break
+				}
+				n++
+			}
+			backlog[j] = q[:copy(q, q[n:])]
+		}
+		for _, c := range comp {
+			for _, pkt := range m.Delivered(c) {
+				inflight[pkt.Line]--
+				pool.Put(pkt)
+			}
+		}
+		m.Tick()
+	}
+
+	for i := 0; i < 3000; i++ { // warm to steady state
+		tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+	}
+	b.StopTimer()
+	st := m.Stats()
+	if st.Cycles > 0 {
+		b.ReportMetric(float64(st.FlitHops)/float64(st.Cycles), "hops/cycle")
+	}
+}
+
+// benchDrainTail times the idle-dominated convergence tail: a short burst of
+// traffic, then ticks on a draining (and eventually empty) network.
+func benchDrainTail(b *testing.B, cfg Config) {
+	m := MustNewMesh(cfg)
+	topo := m.Topology()
+	comp := topo.ComputeNodes()
+	mcs := topo.MCs()
+	var pool PacketPool
+	for i, c := range comp {
+		p := pool.Get()
+		p.Src, p.Dst = c, mcs[i%len(mcs)]
+		p.Class, p.Bytes = ClassRequest, 8
+		m.TryInject(p)
+	}
+	drain := func() {
+		for _, n := range topo.MCs() {
+			for _, pkt := range m.Delivered(n) {
+				pool.Put(pkt)
+			}
+		}
+	}
+	for i := 0; i < 200 && !m.Quiet(); i++ { // let the burst drain
+		m.Tick()
+		drain()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/ring"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -21,6 +22,10 @@ type Network interface {
 	// Tick advances the network one interconnect cycle.
 	Tick()
 	// Delivered returns (and clears) the packets fully ejected at node n.
+	// The returned slice is only valid until the next Delivered call for
+	// the same node: implementations recycle the backing array to keep the
+	// cycle loop allocation-free, so callers must consume (or copy) the
+	// batch before asking again.
 	Delivered(n NodeID) []*Packet
 	// Cycle returns the elapsed interconnect cycles.
 	Cycle() uint64
@@ -46,14 +51,14 @@ type NetStats struct {
 	LatencyByClass  [NumClasses]stats.Mean
 
 	// Fault-injection and resilience counters (all zero when faults are off).
-	CorruptFlits     uint64 // flit deliveries struck by a link fault
-	DroppedPackets   uint64 // packets failing the end-to-end check at ejection
-	DroppedFlits     uint64 // flits belonging to dropped packets
-	DuplicatePackets uint64 // late copies of already-delivered transfers
-	Retransmits      uint64 // wire packets re-injected by the timeout
-	LostPackets      uint64 // transfers abandoned after MaxRetries
-	LostCredits      uint64 // credits delayed by the resync protocol
-	StuckVCFaults    uint64 // stuck-VC faults placed
+	CorruptFlits     uint64        // flit deliveries struck by a link fault
+	DroppedPackets   uint64        // packets failing the end-to-end check at ejection
+	DroppedFlits     uint64        // flits belonging to dropped packets
+	DuplicatePackets uint64        // late copies of already-delivered transfers
+	Retransmits      uint64        // wire packets re-injected by the timeout
+	LostPackets      uint64        // transfers abandoned after MaxRetries
+	LostCredits      uint64        // credits delayed by the resync protocol
+	StuckVCFaults    uint64        // stuck-VC faults placed
 	RetriesPerPacket stats.IntDist // retries per delivered transfer
 }
 
@@ -201,6 +206,26 @@ type meshNet struct {
 	active    int
 	nextPkt   uint64
 
+	// Active-component work lists: one bitset per Tick phase, indexed like
+	// the matching component slice. A component sets its bit when it gains
+	// work (a queued event, packet or flit) and the phase loop clears the
+	// bit once the component goes idle, so the common case — most tiles
+	// idle — costs nothing per cycle. Bits are only ever set for phases at
+	// or after the setter's own (channel sends from the router phase target
+	// the NEXT cycle's channel phase), so the in-order bitset iteration
+	// visits exactly the components the dense loops would have found
+	// non-idle, keeping equal-seeded runs bit-identical.
+	flitActive activeSet
+	credActive activeSet
+	injActive  activeSet
+	rtrActive  activeSet
+	ejActive   activeSet
+
+	// interScratch is the reusable candidate buffer for checkerboard
+	// case-2 intermediate selection, sized once to the node count so route
+	// planning never allocates.
+	interScratch []NodeID
+
 	// Resilience machinery (see resilience.go). fs is nil at fault rate 0,
 	// wd is nil with the watchdog disabled; both nil-paths leave behaviour
 	// bit-identical to a build without the subsystem.
@@ -264,6 +289,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	n.stats.InjectedPackets = make([]uint64, nNodes)
 	n.stats.InjectedBytes = make([]uint64, nNodes)
 	n.stats.EjectedFlits = make([]uint64, nNodes)
+	n.interScratch = make([]NodeID, 0, nNodes)
 
 	for id := 0; id < nNodes; id++ {
 		node := NodeID(id)
@@ -288,7 +314,10 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		}
 		n.routers = append(n.routers, newRouter(p, n))
 	}
-	// Wire direction channels and credits.
+	// Wire direction channels and credits. Channel event queues are bounded
+	// by credit flow control: at most numVCs*bufDepth flits (or credits) can
+	// be in flight on one link.
+	chanCap := cfg.NumVCs * cfg.BufDepth
 	for id := 0; id < nNodes; id++ {
 		r := n.routers[id]
 		for d := Port(0); d < numDirs; d++ {
@@ -296,10 +325,12 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			if nb < 0 {
 				continue
 			}
-			ch := &channel{dst: n.routers[nb], dstPort: int(d.opposite())}
+			ch := &channel{net: n, idx: len(n.flitChans), dst: n.routers[nb], dstPort: int(d.opposite())}
+			ch.q = ring.New[flitEvent](chanCap, chanCap)
 			r.outChans[d] = ch
 			n.flitChans = append(n.flitChans, ch)
-			cc := &creditChannel{dst: r, dstPort: int(d)}
+			cc := &creditChannel{net: n, idx: len(n.credChans), dst: r, dstPort: int(d)}
+			cc.q = ring.New[creditEvent](chanCap, chanCap)
 			n.routers[nb].credChans[int(d.opposite())] = cc
 			n.credChans = append(n.credChans, cc)
 			for v := 0; v < cfg.NumVCs; v++ {
@@ -310,6 +341,11 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	for id := 0; id < nNodes; id++ {
 		n.nis = append(n.nis, newNetIface(NodeID(id), n.routers[id], n))
 	}
+	n.flitActive = newActiveSet(len(n.flitChans))
+	n.credActive = newActiveSet(len(n.credChans))
+	n.injActive = newActiveSet(nNodes)
+	n.rtrActive = newActiveSet(nNodes)
+	n.ejActive = newActiveSet(nNodes)
 	return m, nil
 }
 
@@ -342,7 +378,7 @@ func (n *meshNet) Quiet() bool {
 
 // CanInject reports source-queue space for class at node.
 func (n *meshNet) CanInject(node NodeID, class TrafficClass) bool {
-	return len(n.nis[node].srcQ[class]) < n.cfg.SrcQueueCap
+	return !n.nis[node].srcQ[class].Full()
 }
 
 // TryInject offers p at p.Src. On success the network owns the packet until
@@ -354,7 +390,7 @@ func (n *meshNet) TryInject(p *Packet) bool {
 	if !n.CanInject(p.Src, p.Class) {
 		return false
 	}
-	yx, inter, err := planRoute(n.topo, n.cfg.Routing, p.Src, p.Dst, n.rng)
+	yx, inter, err := planRouteScratch(n.topo, n.cfg.Routing, p.Src, p.Dst, n.rng, n.interScratch)
 	if err != nil {
 		panic(err)
 	}
@@ -362,8 +398,7 @@ func (n *meshNet) TryInject(p *Packet) bool {
 	p.ID = n.nextPkt
 	n.nextPkt++
 	p.OfferedAt = n.cycle
-	ni := n.nis[p.Src]
-	ni.srcQ[p.Class] = append(ni.srcQ[p.Class], p)
+	n.nis[p.Src].enqueue(p)
 	n.active++
 	if n.fs != nil {
 		n.fs.onInject(n, p)
@@ -371,35 +406,60 @@ func (n *meshNet) TryInject(p *Packet) bool {
 	return true
 }
 
-// Delivered returns and clears packets assembled at node.
+// Delivered returns and clears packets assembled at node. The batch and its
+// spare predecessor are double-buffered per node; the returned slice is
+// valid until the next Delivered call for the same node.
 func (n *meshNet) Delivered(node NodeID) []*Packet {
 	ni := n.nis[node]
 	out := ni.delivered
-	ni.delivered = nil
+	ni.delivered = ni.spare[:0]
+	ni.spare = out
 	return out
 }
 
-// Tick advances one network cycle.
+// Tick advances one network cycle. Each phase walks only its active
+// components, in ascending index order — the same order the dense loops
+// used, so arbitration and fault-RNG draw sequences are unchanged: skipped
+// components are exactly those that would have no-opped.
 func (n *meshNet) Tick() {
 	n.cycle++
 	if n.fs != nil {
 		n.fs.tick(n)
 	}
-	for _, ch := range n.flitChans {
+	n.flitActive.forEach(func(i int) {
+		ch := n.flitChans[i]
 		ch.deliver(n.cycle)
-	}
-	for _, cc := range n.credChans {
+		if ch.q.Len() == 0 {
+			n.flitActive.clear(i)
+		}
+	})
+	n.credActive.forEach(func(i int) {
+		cc := n.credChans[i]
 		cc.deliver(n.cycle)
-	}
-	for _, ni := range n.nis {
+		if cc.q.Len() == 0 {
+			n.credActive.clear(i)
+		}
+	})
+	n.injActive.forEach(func(i int) {
+		ni := n.nis[i]
 		ni.injectStep(n.cycle)
-	}
-	for _, r := range n.routers {
+		if ni.pend == 0 {
+			n.injActive.clear(i)
+		}
+	})
+	n.rtrActive.forEach(func(i int) {
+		r := n.routers[i]
 		r.step(n.cycle)
-	}
-	for _, ni := range n.nis {
-		ni.ejectStep(n.cycle)
-	}
+		if r.busy == 0 {
+			n.rtrActive.clear(i)
+		}
+	})
+	n.ejActive.forEach(func(i int) {
+		n.nis[i].ejectStep(n.cycle)
+		if n.routers[i].ejCount == 0 {
+			n.ejActive.clear(i)
+		}
+	})
 	n.stats.Cycles++
 	n.observeHealth()
 }

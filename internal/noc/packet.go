@@ -47,7 +47,15 @@ type Packet struct {
 	YXPhase      bool   // currently routing Y-first
 	Intermediate NodeID // CR case-2 intermediate full-router; < 0 when unused
 
-	Meta interface{} // opaque caller payload
+	// Line and Write carry the closed-loop memory protocol's payload (a
+	// cache-line address and the read/write flag) without boxing it into
+	// Meta: storing a uint64 or a struct in an interface{} allocates on
+	// every packet, which the allocation-free cycle kernel forbids. Traffic
+	// harnesses with richer payloads may still use Meta; the two coexist.
+	Line  uint64
+	Write bool
+
+	Meta interface{} // opaque caller payload (nil on the closed-loop hot path)
 
 	// Timing, in network cycles.
 	OfferedAt  uint64 // when handed to the network interface
@@ -91,6 +99,50 @@ type Flit struct {
 	// queued head overlap its buffer-write/RC stages with the
 	// previous packet's drain (pipelined routers do this)
 }
+
+// PacketPool is a free list of Packet objects for steady-state
+// allocation-free simulation. A run's packet population is bounded by the
+// in-flight work, so after warm-up every Get is served from the free list
+// and the cycle loop performs no heap allocation for packets.
+//
+// The pool is deliberately NOT safe for concurrent use: each simulation run
+// is single-threaded (the parallel experiment runner isolates runs in
+// separate goroutines with separate pools), and a mutex or sync.Pool would
+// put synchronization on the hot path for no benefit. Ownership contract:
+// whoever drains a packet from the network (ejection-side consumer) is
+// responsible for returning it with Put once the payload is extracted;
+// packets still referenced anywhere must never be Put.
+type PacketPool struct {
+	free []*Packet
+	gets uint64 // total Get calls
+	news uint64 // Gets that had to allocate
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pp *PacketPool) Get() *Packet {
+	pp.gets++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	pp.news++
+	return &Packet{}
+}
+
+// Put recycles p. The caller must hold the only live reference.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pp.free = append(pp.free, p)
+}
+
+// Stats reports (total Gets, Gets that allocated); the difference is the
+// number of reuses, a direct measure of steady-state pooling health.
+func (pp *PacketPool) Stats() (gets, news uint64) { return pp.gets, pp.news }
 
 // flitCount returns the number of flits a payload of n bytes needs on links
 // with the given flit size.

@@ -107,11 +107,13 @@ func (fs *faultState) reinject(n *meshNet, x *xfer) bool {
 		Dst:       orig.Dst,
 		Class:     orig.Class,
 		Bytes:     orig.Bytes,
+		Line:      orig.Line,
+		Write:     orig.Write,
 		Meta:      orig.Meta,
 		OfferedAt: orig.OfferedAt,
 		lid:       orig.lid,
 	}
-	yx, inter, err := planRoute(n.topo, n.cfg.Routing, clone.Src, clone.Dst, n.rng)
+	yx, inter, err := planRouteScratch(n.topo, n.cfg.Routing, clone.Src, clone.Dst, n.rng, n.interScratch)
 	if err != nil {
 		panic(err) // the original routed; a replan cannot fail
 	}
@@ -122,8 +124,7 @@ func (fs *faultState) reinject(n *meshNet, x *xfer) bool {
 	x.inFlight++
 	clone.attempt = x.attempts
 	x.nextRetx = fs.cfg.RetxDeadline(n.cycle, x.attempts)
-	ni := n.nis[clone.Src]
-	ni.srcQ[clone.Class] = append(ni.srcQ[clone.Class], clone)
+	n.nis[clone.Src].enqueue(clone)
 	n.active++
 	n.stats.Retransmits++
 	return true
@@ -250,15 +251,15 @@ func (n *meshNet) inNetworkFlits() uint64 {
 	for _, r := range n.routers {
 		for in := range r.inputs {
 			for v := range r.inputs[in] {
-				total += uint64(len(r.inputs[in][v].buf))
+				total += uint64(r.inputs[in][v].buf.Len())
 			}
 		}
-		for _, q := range r.ejQ {
-			total += uint64(len(q))
+		for e := range r.ejQ {
+			total += uint64(r.ejQ[e].Len())
 		}
 	}
 	for _, ch := range n.flitChans {
-		total += uint64(len(ch.q))
+		total += uint64(ch.q.Len())
 	}
 	return total
 }
@@ -310,10 +311,10 @@ func (n *meshNet) diagnose(kind string) *fault.Diagnostic {
 		for in := range r.inputs {
 			for v := range r.inputs[in] {
 				ivc := &r.inputs[in][v]
-				if len(ivc.buf) == 0 {
+				if ivc.buf.Len() == 0 {
 					continue
 				}
-				head := ivc.buf[0]
+				head := *ivc.buf.Front()
 				age := n.cycle - head.Pkt.OfferedAt
 				if age > d.OldestPkt {
 					d.OldestPkt = age
@@ -322,7 +323,7 @@ func (n *meshNet) diagnose(kind string) *fault.Diagnostic {
 					Node:      int(r.p.node),
 					Port:      in,
 					VC:        v,
-					Occupancy: len(ivc.buf),
+					Occupancy: ivc.buf.Len(),
 					State:     vcStateName(ivc.state),
 					PktID:     head.Pkt.ID,
 					PktAge:    age,
@@ -343,7 +344,7 @@ func (n *meshNet) diagnose(kind string) *fault.Diagnostic {
 	queued := 0
 	for _, ni := range n.nis {
 		for c := range ni.srcQ {
-			queued += len(ni.srcQ[c])
+			queued += ni.srcQ[c].Len()
 		}
 	}
 	d.Notes = append(d.Notes, fmt.Sprintf(

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
 
 // vcState is the lifecycle of an input virtual channel.
 type vcState int
@@ -13,7 +17,7 @@ const (
 
 // inVC is one input virtual channel: a flit FIFO plus allocation state.
 type inVC struct {
-	buf     []Flit
+	buf     ring.Ring[Flit]
 	state   vcState
 	outPort int   // granted output port (valid from vcWaitVA on)
 	outVC   int   // granted output VC (valid in vcActive)
@@ -73,7 +77,14 @@ type router struct {
 	outChans  []*channel       // per dir output port; nil at mesh edge
 	credChans []*creditChannel // per dir input port, back to upstream; nil at edge or terminal
 
-	ejQ [][]flitEvent // per ejection port
+	ejQ []ring.Ring[flitEvent] // per ejection port
+
+	// busy counts input VCs holding work (buffered flits or allocation
+	// state); step is a no-op at busy == 0, so the network skips the router.
+	// ejCount counts flits across the ejection queues, the analogous
+	// condition for the ejection phase.
+	busy    int
+	ejCount int
 
 	// stuck[port][vc] holds the cycle until which a stuck-VC fault freezes
 	// that input VC's switch allocation; nil when faults are disabled.
@@ -85,9 +96,14 @@ type router struct {
 	saOutPtr []int // per output port, over input ports
 	ejRR     int
 
-	// scratch, reused across cycles
-	vaReqs map[int][]int
-	saReqs map[int][]int
+	// Allocation scratch, reused across cycles: vaBids[key] holds the input
+	// indices bidding for output VC key = outPort*numVCs+outVC and vaKeys the
+	// dirty keys in discovery order; saBids[out] holds the switch bidders per
+	// output port. All preallocated to their worst case, so the allocators
+	// never touch the heap.
+	vaBids [][]int
+	vaKeys []int
+	saBids [][]int
 }
 
 func newRouter(p routerParams, net *meshNet) *router {
@@ -100,6 +116,7 @@ func newRouter(p routerParams, net *meshNet) *router {
 		r.inputs[i] = make([]inVC, p.numVCs)
 		for v := range r.inputs[i] {
 			r.inputs[i][v].outPort = -1
+			r.inputs[i][v].buf = ring.New[Flit](p.bufDepth, p.bufDepth)
 		}
 	}
 	r.outputs = make([][]outVC, r.nOut)
@@ -111,12 +128,22 @@ func newRouter(p routerParams, net *meshNet) *router {
 	}
 	r.outChans = make([]*channel, numDirs)
 	r.credChans = make([]*creditChannel, numDirs)
-	r.ejQ = make([][]flitEvent, p.nEj)
+	r.ejQ = make([]ring.Ring[flitEvent], p.nEj)
+	for e := range r.ejQ {
+		r.ejQ[e] = ring.New[flitEvent](p.ejCap, p.ejCap)
+	}
 	r.vaPtr = make([]int, r.nOut*p.numVCs)
 	r.saInPtr = make([]int, r.nIn)
 	r.saOutPtr = make([]int, r.nOut)
-	r.vaReqs = make(map[int][]int)
-	r.saReqs = make(map[int][]int)
+	r.vaBids = make([][]int, r.nOut*p.numVCs)
+	for i := range r.vaBids {
+		r.vaBids[i] = make([]int, 0, r.nIn*p.numVCs)
+	}
+	r.vaKeys = make([]int, 0, r.nOut*p.numVCs)
+	r.saBids = make([][]int, r.nOut)
+	for i := range r.saBids {
+		r.saBids[i] = make([]int, 0, r.nIn)
+	}
 	if net != nil && net.fs != nil {
 		r.stuck = make([][]uint64, r.nIn)
 		for i := range r.stuck {
@@ -130,13 +157,19 @@ func (r *router) inIdx(port, vc int) int { return port*r.p.numVCs + vc }
 
 // acceptFlit enqueues an arriving flit into its input VC buffer. Credit
 // accounting upstream guarantees space; overflow means a protocol bug.
+// A flit landing on a fully idle VC is new work: it raises the busy count
+// and puts the router on the network's active list.
 func (r *router) acceptFlit(port int, f Flit, cycle uint64) {
 	ivc := &r.inputs[port][f.VC]
-	if len(ivc.buf) >= r.p.bufDepth {
+	if ivc.buf.Full() {
 		panic(fmt.Sprintf("noc: router %d port %d vc %d buffer overflow", r.p.node, port, f.VC))
 	}
 	f.arrived = cycle
-	ivc.buf = append(ivc.buf, f)
+	if ivc.buf.Len() == 0 && ivc.state == vcIdle {
+		r.busy++
+		r.net.rtrActive.set(int(r.p.node))
+	}
+	ivc.buf.Push(f)
 }
 
 // acceptCredit returns a buffer slot for (output port, vc).
@@ -151,7 +184,7 @@ func (r *router) acceptCredit(port, vc int) {
 // injSpace reports free slots in an injection port VC buffer (used by the
 // network interface, which writes flits directly).
 func (r *router) injSpace(injPort, vc int) int {
-	return r.p.bufDepth - len(r.inputs[int(numDirs)+injPort][vc].buf)
+	return r.p.bufDepth - r.inputs[int(numDirs)+injPort][vc].buf.Len()
 }
 
 // injectFlit writes one flit into an injection buffer.
@@ -189,10 +222,10 @@ func (r *router) routeCompute(cycle uint64) {
 	for in := 0; in < r.nIn; in++ {
 		for v := 0; v < r.p.numVCs; v++ {
 			ivc := &r.inputs[in][v]
-			if ivc.state != vcIdle || len(ivc.buf) == 0 {
+			if ivc.state != vcIdle || ivc.buf.Len() == 0 {
 				continue
 			}
-			head := ivc.buf[0]
+			head := *ivc.buf.Front()
 			if !head.Head {
 				panic(fmt.Sprintf("noc: router %d: non-head flit (pkt %d seq %d) at front of idle vc",
 					r.p.node, head.Pkt.ID, head.Seq))
@@ -223,64 +256,66 @@ func (r *router) routeCompute(cycle uint64) {
 
 // vcAllocate matches waiting input VCs to free output VCs: each input VC
 // bids for the first free VC in its allowed set; each contested output VC
-// grants round-robin.
+// grants round-robin. Grants are processed in key-discovery order; they are
+// independent per key (every input VC bids on exactly one key), so the
+// order does not affect the outcome.
 func (r *router) vcAllocate(cycle uint64) {
-	reqs := r.vaReqs
-	for k := range reqs {
-		delete(reqs, k)
-	}
+	n := r.p.numVCs
 	for in := 0; in < r.nIn; in++ {
-		for v := 0; v < r.p.numVCs; v++ {
+		for v := 0; v < n; v++ {
 			ivc := &r.inputs[in][v]
 			if ivc.state != vcWaitVA || ivc.readyAt > cycle {
 				continue
 			}
 			for _, ov := range ivc.allowed {
 				if r.outputs[ivc.outPort][ov].owner < 0 {
-					key := ivc.outPort*r.p.numVCs + ov
-					reqs[key] = append(reqs[key], r.inIdx(in, v))
+					key := ivc.outPort*n + ov
+					if len(r.vaBids[key]) == 0 {
+						r.vaKeys = append(r.vaKeys, key)
+					}
+					r.vaBids[key] = append(r.vaBids[key], r.inIdx(in, v))
 					break
 				}
 			}
 		}
 	}
-	for key, bidders := range reqs {
-		winner := pickRR(bidders, &r.vaPtr[key])
-		in, v := winner/r.p.numVCs, winner%r.p.numVCs
+	for _, key := range r.vaKeys {
+		bidders := r.vaBids[key]
+		winner := pickRR(bidders, &r.vaPtr[key], r.nIn*n)
+		in, v := winner/n, winner%n
 		ivc := &r.inputs[in][v]
-		op, ov := key/r.p.numVCs, key%r.p.numVCs
+		op, ov := key/n, key%n
 		r.outputs[op][ov].owner = winner
 		ivc.outVC = ov
 		ivc.state = vcActive
 		ivc.readyAt = cycle + r.vaD
+		r.vaBids[key] = bidders[:0]
 	}
+	r.vaKeys = r.vaKeys[:0]
 }
 
 // switchAllocate picks one flit per input port and one per output port
-// (input-first separable allocation) and traverses the switch.
+// (input-first separable allocation) and traverses the switch. Grants run
+// in output-port order: traverse draws from the fault RNG (credit-loss per
+// send), so the iteration order must be deterministic for equal-seeded runs
+// to stay bit-identical.
 func (r *router) switchAllocate(cycle uint64) {
-	reqs := r.saReqs
-	for k := range reqs {
-		delete(reqs, k)
-	}
 	for in := 0; in < r.nIn; in++ {
 		v, ok := r.pickSAInput(in, cycle)
 		if !ok {
 			continue
 		}
 		out := r.inputs[in][v].outPort
-		reqs[out] = append(reqs[out], r.inIdx(in, v))
+		r.saBids[out] = append(r.saBids[out], r.inIdx(in, v))
 	}
-	// Grant in output-port order, not map order: traverse draws from the
-	// fault RNG (credit-loss per send), so the iteration order must be
-	// deterministic for equal-seeded runs to stay bit-identical.
 	for out := 0; out < r.nOut; out++ {
-		bidders := reqs[out]
+		bidders := r.saBids[out]
 		if len(bidders) == 0 {
 			continue
 		}
-		winner := pickRR(bidders, &r.saOutPtr[out])
+		winner := pickRR(bidders, &r.saOutPtr[out], r.nIn*r.p.numVCs)
 		r.traverse(winner/r.p.numVCs, winner%r.p.numVCs, cycle)
+		r.saBids[out] = bidders[:0]
 	}
 }
 
@@ -291,7 +326,7 @@ func (r *router) pickSAInput(in int, cycle uint64) (int, bool) {
 	for k := 0; k < n; k++ {
 		v := (start + k) % n
 		ivc := &r.inputs[in][v]
-		if ivc.state != vcActive || ivc.readyAt > cycle || len(ivc.buf) == 0 {
+		if ivc.state != vcActive || ivc.readyAt > cycle || ivc.buf.Len() == 0 {
 			continue
 		}
 		if r.stuck != nil && r.stuck[in][v] > cycle {
@@ -312,21 +347,22 @@ func (r *router) outputReady(port, vc int) bool {
 	if port < int(numDirs) {
 		return r.outputs[port][vc].credits > 0
 	}
-	return len(r.ejQ[port-int(numDirs)]) < r.p.ejCap
+	return !r.ejQ[port-int(numDirs)].Full()
 }
 
 // traverse moves the front flit of (in, v) through the switch.
 func (r *router) traverse(in, v int, cycle uint64) {
 	ivc := &r.inputs[in][v]
-	f := ivc.buf[0]
-	ivc.buf = ivc.buf[:copy(ivc.buf, ivc.buf[1:])]
+	f := ivc.buf.Pop()
 	op, ov := ivc.outPort, ivc.outVC
 	f.VC = ov
 	if op < int(numDirs) {
 		r.outputs[op][ov].credits--
 		r.outChans[op].send(f, cycle+r.stD+r.p.chanLat)
 	} else {
-		r.ejQ[op-int(numDirs)] = append(r.ejQ[op-int(numDirs)], flitEvent{flit: f, due: cycle + r.stD})
+		r.ejQ[op-int(numDirs)].Push(flitEvent{flit: f, due: cycle + r.stD})
+		r.ejCount++
+		r.net.ejActive.set(int(r.p.node))
 	}
 	r.net.stats.FlitHops++
 	r.net.moveCount++
@@ -344,36 +380,34 @@ func (r *router) traverse(in, v int, cycle uint64) {
 		ivc.outPort = -1
 		ivc.allowed = nil
 	}
+	if ivc.buf.Len() == 0 && ivc.state == vcIdle {
+		r.busy--
+	}
 }
 
 // drainEjected pops all arrived flits from the ejection queues.
 func (r *router) drainEjected(cycle uint64, visit func(Flit)) {
 	for e := range r.ejQ {
-		q := r.ejQ[e]
-		n := 0
-		for _, ev := range q {
-			if ev.due <= cycle {
-				visit(ev.flit)
-				n++
-			} else {
-				break
-			}
-		}
-		if n > 0 {
-			r.ejQ[e] = q[:copy(q, q[n:])]
+		q := &r.ejQ[e]
+		for q.Len() > 0 && q.Front().due <= cycle {
+			r.ejCount--
+			visit(q.Pop().flit)
 		}
 	}
 }
 
-// pickRR chooses the first bidder at or after *ptr (wrapping), then advances
-// the pointer past the winner.
-func pickRR(bidders []int, ptr *int) int {
+// pickRR chooses the first bidder at or after *ptr in cyclic order over the
+// index space [0, n), then advances the pointer past the winner. Bidders are
+// input indices in [0, n) and the pointer rests in [0, n] (n after a
+// last-index win), so one conditional add of n restores the cyclic distance
+// for bidders that wrapped below the pointer.
+func pickRR(bidders []int, ptr *int, n int) int {
 	best := -1
 	bestKey := 0
 	for _, b := range bidders {
 		key := b - *ptr
 		if key < 0 {
-			key += 1 << 20 // wrap below pointer to the end of the order
+			key += n // wrap below pointer to the end of the order
 		}
 		if best < 0 || key < bestKey {
 			best, bestKey = b, key

@@ -47,6 +47,14 @@ func (r RoutingAlgo) String() string {
 // with an odd column offset on different rows), which do not occur when MCs
 // and cache banks are placed at half-routers.
 func planRoute(t *Topology, algo RoutingAlgo, src, dst NodeID, rng *xrand.Rand) (yxPhase bool, intermediate NodeID, err error) {
+	return planRouteScratch(t, algo, src, dst, rng, nil)
+}
+
+// planRouteScratch is planRoute with a caller-provided candidate scratch
+// buffer for intermediate-node selection. The mesh passes a buffer sized to
+// the node count so hot-path route planning never allocates; a nil scratch
+// falls back to allocating (cold callers and tests).
+func planRouteScratch(t *Topology, algo RoutingAlgo, src, dst NodeID, rng *xrand.Rand, scratch []NodeID) (yxPhase bool, intermediate NodeID, err error) {
 	intermediate = -1
 	if algo == RoutingDOR || src == dst {
 		return false, -1, nil
@@ -84,7 +92,7 @@ func planRoute(t *Topology, algo RoutingAlgo, src, dst NodeID, rng *xrand.Rand) 
 	if !t.IsHalf(src) || !t.IsHalf(dst) {
 		return false, -1, fmt.Errorf("noc: no checkerboard route from %v to %v (full-router pair with odd offset)", cs, cd)
 	}
-	inter, ok := pickIntermediate(t, cs, cd, rng)
+	inter, ok := pickIntermediate(t, cs, cd, rng, scratch)
 	if !ok {
 		return false, -1, fmt.Errorf("noc: no intermediate full-router between %v and %v", cs, cd)
 	}
@@ -94,10 +102,12 @@ func planRoute(t *Topology, algo RoutingAlgo, src, dst NodeID, rng *xrand.Rand) 
 // pickIntermediate selects a random full-router W in the minimal quadrant
 // spanned by src and dst with W.Y != src.Y and W.X an even column offset
 // from src. Both routing phases (YX src→W, XY W→dst) are then turn-legal.
-func pickIntermediate(t *Topology, cs, cd Coord, rng *xrand.Rand) (NodeID, bool) {
+// Candidates accumulate in scratch (its backing array, when capacious
+// enough, is reused without allocation).
+func pickIntermediate(t *Topology, cs, cd Coord, rng *xrand.Rand, scratch []NodeID) (NodeID, bool) {
 	xlo, xhi := minMax(cs.X, cd.X)
 	ylo, yhi := minMax(cs.Y, cd.Y)
-	var candidates []NodeID
+	candidates := scratch[:0]
 	for y := ylo; y <= yhi; y++ {
 		if y == cs.Y {
 			continue

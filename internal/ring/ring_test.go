@@ -1,0 +1,110 @@
+package ring
+
+import "testing"
+
+// TestWrapAround pushes and pops across the wrap point many times and
+// checks FIFO order survives: the head index crosses the backing array
+// boundary on most iterations.
+func TestWrapAround(t *testing.T) {
+	r := New[int](4, 4)
+	next := 0 // next value to push
+	want := 0 // next value expected from Pop
+	for i := 0; i < 100; i++ {
+		for r.Len() < 3 {
+			r.Push(next)
+			next++
+		}
+		for r.Len() > 1 {
+			if got := r.Pop(); got != want {
+				t.Fatalf("iteration %d: popped %d, want %d", i, got, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestAtIndexesFromFront checks At(i) addresses the i-th oldest element
+// even when the ring's contents straddle the wrap point.
+func TestAtIndexesFromFront(t *testing.T) {
+	r := New[int](4, 4)
+	// Advance head to 3 so pushes wrap.
+	for i := 0; i < 3; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+	for i := 10; i < 14; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 4; i++ {
+		if got := *r.At(i); got != 10+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 10+i)
+		}
+	}
+	if r.Front() != r.At(0) {
+		t.Error("Front and At(0) disagree")
+	}
+}
+
+// TestHardBoundGrowsThenPanics verifies a ring created below its hard
+// bound grows up to the bound and panics only past it.
+func TestHardBoundGrowsThenPanics(t *testing.T) {
+	r := New[int](2, 5)
+	for i := 0; i < 5; i++ {
+		r.Push(i) // grows 2 -> 4 -> 5, no panic
+	}
+	if !r.Full() {
+		t.Fatalf("ring with 5/5 elements not Full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("push past the hard capacity bound did not panic")
+		}
+	}()
+	r.Push(5)
+}
+
+// TestGrowPreservesOrder fills an unbounded ring across several growth
+// steps, with the contents wrapped at each growth, and checks order.
+func TestGrowPreservesOrder(t *testing.T) {
+	r := New[int](2, 0)
+	// Offset head so every grow() has to linearize a wrapped buffer.
+	r.Push(-1)
+	r.Pop()
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("popped %d, want %d", got, i)
+		}
+	}
+}
+
+// TestTruncateDropsNewest checks Truncate keeps the m oldest elements.
+func TestTruncateDropsNewest(t *testing.T) {
+	r := New[int](8, 8)
+	for i := 0; i < 6; i++ {
+		r.Push(i)
+	}
+	r.Truncate(2)
+	if r.Len() != 2 {
+		t.Fatalf("Len after Truncate(2) = %d", r.Len())
+	}
+	if *r.At(0) != 0 || *r.At(1) != 1 {
+		t.Errorf("Truncate kept [%d %d], want [0 1]", *r.At(0), *r.At(1))
+	}
+	// Dropped and popped slots must be zeroed so pointer elements do not
+	// pin garbage (white-box: inspect the backing array directly).
+	p := New[*int](2, 2)
+	v := 7
+	p.Push(&v)
+	p.Pop()
+	if p.buf[0] != nil {
+		t.Error("popped slot not zeroed")
+	}
+	p.Push(&v)
+	p.Truncate(0)
+	if p.buf[1] != nil {
+		t.Error("truncated slot not zeroed")
+	}
+}

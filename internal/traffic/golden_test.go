@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// Open-loop golden digests: the synthetic many-to-few-to-many harness pins
+// the cycle kernel's behaviour under Bernoulli injection, covering the
+// injection-rate paths (source-queue overflow, reply backlogs) that the
+// closed-loop goldens in internal/core exercise only lightly. Recorded
+// before the allocation-free kernel refactor; see internal/core/golden_test.go
+// for the re-record procedure (env GOLDEN_RECORD=1).
+
+type openGolden struct {
+	id      string
+	pattern Pattern
+	rate    float64
+	mesh    func() noc.Config
+}
+
+func openMatrix() []openGolden {
+	base := func() noc.Config { return noc.DefaultConfig() }
+	cb := func() noc.Config {
+		cfg := noc.DefaultConfig()
+		cfg.Checkerboard = true
+		cfg.Routing = noc.RoutingCheckerboard
+		cfg.NumVCs = 4
+		cfg.MCs = noc.CheckerboardPlacement(6, 6, 8)
+		return cfg
+	}
+	return []openGolden{
+		{"uniform-low", UniformRandom, 0.02, base},
+		{"uniform-high", UniformRandom, 0.08, base},
+		{"hotspot", Hotspot, 0.04, base},
+		{"uniform-cb", UniformRandom, 0.04, cb},
+	}
+}
+
+var openGoldenDigests = map[string]string{
+	"uniform-low":  "867304abbd27626400e110bd73cf6af7b65290eb8cdb82e12213841ce5cf5f14",
+	"uniform-high": "30441cffff5917d81ce04f9d9e258d8fcb41ffb3b7ac73cd3b6b9cfa9e2f9a61",
+	"hotspot":      "7bc469d273d16a039b431391b233656b92826f37b54c79cd5fd07944f19fb944",
+	"uniform-cb":   "a04734af6ef791e75c420d3d21a20d3d7231125d2f8a5f823977b5519b16c0c5",
+}
+
+func digestOpenLoop(res Result, ns *noc.NetStats) string {
+	h := sha256.New()
+	wf := func(v float64) { fmt.Fprintf(h, "%x,", math.Float64bits(v)) }
+	wf(res.OfferedLoad)
+	wf(res.AcceptedLoad)
+	wf(res.AvgLatency)
+	wf(res.P50Latency)
+	wf(res.P99Latency)
+	wf(res.AvgRoundTrip)
+	wf(res.ReplyInjectRate)
+	fmt.Fprintf(h, "%d,%v,", res.MeasuredPackets, res.Saturated)
+	fmt.Fprintf(h, "%d,", ns.FlitHops)
+	for _, v := range ns.InjectedFlits {
+		fmt.Fprintf(h, "%d,", v)
+	}
+	for _, v := range ns.EjectedFlits {
+		fmt.Fprintf(h, "%d,", v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestOpenLoopGoldenDigests pins the open-loop harness bit-exactly at four
+// seeded operating points.
+func TestOpenLoopGoldenDigests(t *testing.T) {
+	record := os.Getenv("GOLDEN_RECORD") != ""
+	for _, og := range openMatrix() {
+		og := og
+		t.Run(og.id, func(t *testing.T) {
+			var last noc.Network
+			runner := NewRunner(func() (noc.Network, *noc.Topology) {
+				m := noc.MustNewMesh(og.mesh())
+				last = m
+				return m, m.Topology()
+			})
+			cfg := DefaultConfig()
+			cfg.Pattern = og.pattern
+			cfg.InjectionRate = og.rate
+			cfg.WarmupCycles = 500
+			cfg.MeasureCycles = 2000
+			cfg.DrainCycles = 4000
+			res := runner.Run(cfg)
+			got := digestOpenLoop(res, last.Stats())
+			if record {
+				fmt.Printf("\t%q: %q,\n", og.id, got)
+				return
+			}
+			want := openGoldenDigests[og.id]
+			if got != want {
+				t.Errorf("open-loop digest mismatch for %s:\n got  %s\n want %s",
+					og.id, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench.sh — capture the repository's benchmark baseline into BENCH_<date>.json.
+#
+# Runs the cycle-kernel microbenchmark plus the class-representative figure
+# benchmarks (one workload per LL/LH/HH traffic class, see bench_test.go)
+# with -benchmem, and appends a labelled capture to a JSON file via
+# cmd/benchjson. Run it before and after a performance change with different
+# labels to record the before/after pair in one file:
+#
+#	scripts/bench.sh before-refactor
+#	... make changes ...
+#	scripts/bench.sh after-refactor
+#
+# Usage: scripts/bench.sh [label] [outfile]
+set -eu
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-capture}"
+OUT="${2:-BENCH_$(date +%F).json}"
+
+{
+	# Cycle-kernel microbenchmark: fixed iteration count so allocs/op and
+	# hops/cycle are comparable across captures.
+	go test -run '^$' -bench 'BenchmarkCycleKernel' -benchmem -benchtime 2000x ./internal/noc/
+	# Class-representative figure benchmarks (hm_speedup metrics et al).
+	go test -run '^$' -bench 'Fig|Table|Headline' -benchmem -benchtime 1x .
+} 2>&1 | go run ./cmd/benchjson -label "$LABEL" -out "$OUT"
