@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -58,6 +59,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	deriveSpeedups(benches)
 	cap := Capture{
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -138,6 +140,37 @@ func parse(r *os.File) ([]Benchmark, error) {
 		out = append(out, b)
 	}
 	return out, sc.Err()
+}
+
+// shardSuffix matches the "-s<N>" shard-count suffix the sharded-kernel
+// benchmarks put on their sub-benchmark names (after the GOMAXPROCS suffix
+// has been stripped).
+var shardSuffix = regexp.MustCompile(`^(.*)-s(\d+)$`)
+
+// deriveSpeedups adds a speedup_vs_s1 metric to every benchmark named
+// "<base>-s<N>" (N > 1) that has a "<base>-s1" serial baseline in the same
+// capture: serial ns/op divided by sharded ns/op, so >1 means the sharded
+// kernel is faster. Values below 1 on low-core hosts are expected — they
+// record the coordination overhead honestly instead of hiding it.
+func deriveSpeedups(benches []Benchmark) {
+	serial := make(map[string]float64)
+	for _, b := range benches {
+		if m := shardSuffix.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			serial[m[1]] = b.Metrics["ns/op"]
+		}
+	}
+	for i := range benches {
+		m := shardSuffix.FindStringSubmatch(benches[i].Name)
+		if m == nil || m[2] == "1" {
+			continue
+		}
+		base, ok := serial[m[1]]
+		ns := benches[i].Metrics["ns/op"]
+		if !ok || base <= 0 || ns <= 0 {
+			continue
+		}
+		benches[i].Metrics["speedup_vs_s1"] = base / ns
+	}
 }
 
 // stripProcs removes a trailing "-N" GOMAXPROCS suffix from a benchmark name.

@@ -10,8 +10,9 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-bench AES,MUM,...] [-jobs N] [-run-timeout d]
-//	            [-checkpoint file [-resume]] [-v] all|fig7|table6|...
+//	experiments [-scale f] [-bench AES,MUM,...] [-jobs N] [-shards K]
+//	            [-run-timeout d] [-checkpoint file [-resume]] [-v]
+//	            all|fig7|table6|...
 //
 // Exit status: 0 on a clean sweep, 1 when any run did not finish (so CI
 // catches silently degraded sweeps), 130 when interrupted.
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/noc"
 	"repro/internal/prof"
 	"repro/internal/stats"
 )
@@ -36,6 +38,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "kernel length scale (lower = faster, less accurate)")
 	bench := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all 31)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0,
+		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*shards <= GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
@@ -65,6 +69,7 @@ func main() {
 	opts := experiments.Options{
 		Scale:      *scale,
 		Jobs:       *jobs,
+		Shards:     *shards,
 		RunTimeout: *runTimeout,
 		Retries:    *retries,
 		Checkpoint: *checkpoint,
@@ -97,6 +102,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
+	// Tag shard workers in the CPU profile (pprof label noc_shard=<k>);
+	// off without -cpuprofile since the labelling allocates per tick.
+	noc.SetShardProfiling(pprofOut.CPUActive())
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			break

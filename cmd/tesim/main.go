@@ -63,6 +63,8 @@ func main() {
 	watchdog := flag.Uint64("watchdog-cycles", fault.DefaultConfig().WatchdogCycles,
 		"deadlock watchdog no-movement window in icnt cycles (0 disables health checks)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0,
+		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*shards <= GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	pprofOut := prof.AddFlags()
@@ -95,6 +97,7 @@ func main() {
 	defer stop()
 	pool, err := runner.New(ctx, runner.Options{
 		Jobs:       *jobs,
+		Shards:     *shards,
 		RunTimeout: *runTimeout,
 		Retries:    *retries,
 	})
@@ -119,6 +122,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tesim:", err)
 		os.Exit(2)
 	}
+	// Tag shard workers in the CPU profile (pprof label noc_shard=<k>) so
+	// per-shard time is attributable; off without -cpuprofile since the
+	// labelling allocates per tick.
+	noc.SetShardProfiling(pprofOut.CPUActive())
 	outs := pool.DoAll(cfgs)
 	pprofOut.Stop() // profile covers the simulations, not the report
 

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/gpu"
 	"repro/internal/mem"
@@ -77,6 +78,41 @@ type Config struct {
 	Workload      workload.Profile
 	Seed          uint64
 	MaxIcntCycles uint64 // safety stop; 0 means a generous default
+
+	// Shards requests intra-run parallelism for the cycle kernel: the mesh
+	// ticks as Shards column bands on worker goroutines (see
+	// internal/noc/shard.go). 0 runs serial, ShardsAuto resolves to
+	// GOMAXPROCS; the mesh clamps to its column count, and internal/runner
+	// further caps the effective value so Jobs×Shards never oversubscribes
+	// the machine. Results are bit-identical for every value, so Shards is
+	// deliberately excluded from Name suffixes and cache keys.
+	Shards int
+}
+
+// ShardsAuto asks NewSystem to pick the shard count from the machine:
+// GOMAXPROCS, clamped by the mesh to its column count (and by the runner to
+// its fair share when several runs execute concurrently).
+const ShardsAuto = -1
+
+// ResolveShards maps the Config.Shards knob to a concrete request for the
+// network: ShardsAuto becomes GOMAXPROCS (the mesh clamps to min(cols, ...)
+// itself); other negatives are treated as serial.
+func ResolveShards(requested int) int {
+	if requested == ShardsAuto {
+		return runtime.GOMAXPROCS(0)
+	}
+	if requested < 0 {
+		return 1
+	}
+	return requested
+}
+
+// WithShards sets the cycle-kernel shard request. Unlike the other builders
+// it does NOT suffix Name: sharding changes wall-clock time only, never
+// results, so sharded and serial runs must share cache keys.
+func (c Config) WithShards(n int) Config {
+	c.Shards = n
+	return c
 }
 
 // Baseline returns the paper's baseline system (§II, Tables II/III) running

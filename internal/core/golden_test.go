@@ -106,36 +106,49 @@ func digestRun(res Result, ns *noc.NetStats) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// goldenShardCounts is the sharded-kernel determinism matrix: every golden
+// configuration must produce the SAME recorded digest under the serial
+// kernel and under 2- and 4-way column-band sharding. One digest table
+// serves all three, which is the point — sharding may only change
+// wall-clock time, never a single bit of simulated behaviour.
+var goldenShardCounts = []int{1, 2, 4}
+
 // TestGoldenDigests proves seeded runs are bit-identical to the recorded
-// pre-refactor behaviour across the configuration matrix.
+// pre-refactor behaviour across the configuration matrix, for the serial
+// and the sharded cycle kernel alike.
 func TestGoldenDigests(t *testing.T) {
 	record := os.Getenv("GOLDEN_RECORD") != ""
 	for _, gc := range goldenMatrix() {
 		gc := gc
-		t.Run(gc.id, func(t *testing.T) {
-			sys, err := NewSystem(gc.build())
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, runErr := sys.Run(nil)
-			if runErr != nil {
-				t.Fatalf("run degraded: %v", runErr)
-			}
-			got := digestRun(res, sys.NetStats())
-			if record {
-				fmt.Printf("\t%q: %q,\n", gc.id, got)
-				return
-			}
-			want, ok := goldenDigests[gc.id]
-			if !ok {
-				t.Fatalf("no golden digest recorded for %s", gc.id)
-			}
-			if got != want {
-				t.Errorf("digest mismatch for %s:\n got  %s\n want %s\n"+
-					"(a seeded run is no longer bit-identical; if the change is intentional, "+
-					"re-record with GOLDEN_RECORD=1)", gc.id, got, want)
-			}
-		})
+		for _, shards := range goldenShardCounts {
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards-%d", gc.id, shards), func(t *testing.T) {
+				sys, err := NewSystem(gc.build().WithShards(shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, runErr := sys.Run(nil)
+				if runErr != nil {
+					t.Fatalf("run degraded: %v", runErr)
+				}
+				got := digestRun(res, sys.NetStats())
+				if record {
+					if shards == 1 {
+						fmt.Printf("\t%q: %q,\n", gc.id, got)
+					}
+					return
+				}
+				want, ok := goldenDigests[gc.id]
+				if !ok {
+					t.Fatalf("no golden digest recorded for %s", gc.id)
+				}
+				if got != want {
+					t.Errorf("digest mismatch for %s at %d shards:\n got  %s\n want %s\n"+
+						"(a seeded run is no longer bit-identical; if the change is intentional, "+
+						"re-record with GOLDEN_RECORD=1)", gc.id, shards, got, want)
+				}
+			})
+		}
 	}
 }
 

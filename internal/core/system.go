@@ -95,6 +95,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Thread the shard request into the network config; the mesh performs
+	// its own clamping (column count, fault gating).
+	cfg.Noc.Shards = ResolveShards(cfg.Shards)
 	s := &System{cfg: cfg, sched: sched}
 
 	switch cfg.Net {

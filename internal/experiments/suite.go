@@ -44,6 +44,11 @@ type Options struct {
 	// byte-identical for any value: figures render serially from the
 	// memoized results.
 	Jobs int
+	// Shards requests column-band sharding inside each network tick
+	// (0 = serial kernel, negative = auto). The runner caps the effective
+	// value so Jobs×Shards never oversubscribes GOMAXPROCS; results are
+	// bit-identical at any shard count.
+	Shards int
 	// RunTimeout is the per-run wall-clock deadline; a run that exceeds
 	// it becomes a "timeout" DNF row. 0 disables the deadline.
 	RunTimeout time.Duration
@@ -112,6 +117,7 @@ func New(opts Options) (*Suite, error) {
 	s := &Suite{opts: opts, bench: bench}
 	pool, err := runner.New(opts.Context, runner.Options{
 		Jobs:       opts.Jobs,
+		Shards:     opts.Shards,
 		RunTimeout: opts.RunTimeout,
 		Retries:    opts.Retries,
 		Backoff:    opts.RetryBackoff,

@@ -12,17 +12,31 @@ type flitEvent struct {
 // its local ejection queue). Flits arrive after the link latency. The event
 // queue is a hard-bounded ring: wire occupancy per VC is credit-limited to
 // the downstream buffer depth, so numVCs*bufDepth flits is a proven bound.
+//
+// Sharding: the queue belongs to the destination router's shard (sh), the
+// only code that pops it. A channel crossing a shard boundary has xmail set
+// to the SOURCE shard's outgoing mailbox; sends park there and the serial
+// epilogue moves them into q at the cycle boundary, so shards never write
+// each other's queues. Channel latency makes every event due next cycle at
+// the earliest, so the deferred hand-off is invisible to the simulation.
 type channel struct {
-	net     *meshNet
-	idx     int // index into net.flitChans, for the active list
+	idx     int    // index into net.flitChans, for the active list
+	src     NodeID // sending router (shard assignment)
 	dst     *router
 	dstPort int // input port index at dst
+	sh      *meshShard
+	xmail   *ring.Ring[flitMail] // source shard's mailbox; nil intra-shard
 	q       ring.Ring[flitEvent]
 }
 
 func (c *channel) send(f Flit, due uint64) {
-	c.q.Push(flitEvent{flit: f, due: due})
-	c.net.flitActive.set(c.idx)
+	ev := flitEvent{flit: f, due: due}
+	if c.xmail != nil {
+		c.xmail.Push(flitMail{ch: c, ev: ev})
+		return
+	}
+	c.q.Push(ev)
+	c.sh.flitActive.set(c.idx)
 }
 
 // deliver moves all arrived flits into the destination input buffers.
@@ -50,12 +64,16 @@ type creditEvent struct {
 // creditChannel carries credits back along a link: dst is the upstream
 // router and dstPort its output port feeding the link. Credit conservation
 // bounds the in-flight credits per VC by the buffer depth, so the ring is
-// hard-bounded at numVCs*bufDepth like the flit channel.
+// hard-bounded at numVCs*bufDepth like the flit channel. Shard ownership
+// mirrors the flit channel: the upstream (dst) shard owns the queue, and a
+// boundary-crossing credit parks in the sender's mailbox.
 type creditChannel struct {
-	net     *meshNet
-	idx     int // index into net.credChans, for the active list
+	idx     int    // index into net.credChans, for the active list
+	src     NodeID // sending (downstream) router
 	dst     *router
 	dstPort int
+	sh      *meshShard
+	xmail   *ring.Ring[credMail] // source shard's mailbox; nil intra-shard
 	q       ring.Ring[creditEvent]
 }
 
@@ -66,8 +84,13 @@ func (c *creditChannel) send(vc int, due uint64) {
 	if fs := c.dst.net.fs; fs != nil {
 		due += fs.delayCredit(c.dst.net)
 	}
-	c.q.Push(creditEvent{vc: vc, due: due})
-	c.net.credActive.set(c.idx)
+	ev := creditEvent{vc: vc, due: due}
+	if c.xmail != nil {
+		c.xmail.Push(credMail{cc: c, ev: ev})
+		return
+	}
+	c.q.Push(ev)
+	c.sh.credActive.set(c.idx)
 }
 
 // deliver returns all due credits. Resync-delayed credits make due values

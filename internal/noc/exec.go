@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// shardTask is one shard's per-cycle work item for the shared executor. The
+// task is preallocated per shard and resubmitted each cycle, so dispatching a
+// sharded tick allocates nothing.
+type shardTask struct {
+	run    func()
+	wg     *sync.WaitGroup
+	labels pprof.LabelSet
+}
+
+// shardProfiling gates pprof goroutine labels around shard execution.
+// pprof.Do allocates per call, so labels are off unless a CPU profile is
+// being collected (the CLIs flip this when -cpuprofile is set).
+var shardProfiling atomic.Bool
+
+// SetShardProfiling toggles pprof labels ("noc_shard" = shard index) around
+// every shard segment, so per-shard time is attributable in CPU profiles.
+// Enable only while profiling: the labeling path allocates per task.
+func SetShardProfiling(on bool) { shardProfiling.Store(on) }
+
+// execute runs the task body, labeled when profiling is on. It does not
+// signal the WaitGroup: the executor workers do that, and the coordinator
+// runs its own shard inline without a pending Add.
+func (t *shardTask) execute() {
+	if shardProfiling.Load() {
+		pprof.Do(context.Background(), t.labels, func(context.Context) { t.run() })
+		return
+	}
+	t.run()
+}
+
+// executor is the package-wide worker pool shared by every sharded mesh in
+// the process. It is sized to GOMAXPROCS and started lazily on the first
+// sharded tick, so serial runs spawn no goroutines. Workers live for the
+// process lifetime (meshes have no Close in the Network interface); they are
+// parked on a channel receive when idle, which is what lets idle-shard
+// workers cost nothing between cycles. Tasks never block on other tasks —
+// the only waiter is the goroutine that called Tick — so a fixed-size pool
+// cannot deadlock even with many meshes ticking concurrently.
+var executor struct {
+	once sync.Once
+	ch   chan *shardTask
+}
+
+func submitShard(t *shardTask) {
+	executor.once.Do(startExecutor)
+	executor.ch <- t
+}
+
+func startExecutor() {
+	executor.ch = make(chan *shardTask, 256)
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		go func() {
+			for t := range executor.ch {
+				t.execute()
+				t.wg.Done()
+			}
+		}()
+	}
+}

@@ -51,7 +51,7 @@ func newNetIface(node NodeID, rtr *router, net *meshNet) *netIface {
 func (ni *netIface) enqueue(p *Packet) {
 	ni.srcQ[p.Class].Push(p)
 	ni.pend++
-	ni.net.injActive.set(int(ni.node))
+	ni.rtr.sh.injActive.set(int(ni.node))
 }
 
 // injectStep advances injection by up to one flit per port.
@@ -130,7 +130,7 @@ func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
 	ni.rtr.injectFlit(port, f, cycle)
 	w.next++
 	ni.net.stats.InjectedFlits[ni.node]++
-	ni.net.moveCount++
+	ni.rtr.sh.moves++
 	if w.next == w.total {
 		w.pkt = nil
 		ni.pend--
@@ -139,11 +139,14 @@ func (ni *netIface) writeFlit(port int, w *injWriter, cycle uint64) {
 
 // ejectStep drains arrived flits and assembles packets. Flits of one packet
 // arrive in order, but packets on different VCs may interleave, so assembly
-// counts flits per packet ID.
+// counts flits per packet ID. Latency observations are order-sensitive
+// float sums, so they are deferred into the shard's sample buffer and
+// replayed in serial (node-ascending) order by the cycle epilogue.
 func (ni *netIface) ejectStep(cycle uint64) {
+	sh := ni.rtr.sh
 	ni.rtr.drainEjected(cycle, func(f Flit) {
 		ni.net.stats.EjectedFlits[ni.node]++
-		ni.net.moveCount++
+		sh.moves++
 		pkt := f.Pkt
 		got := ni.asm[pkt.ID] + 1
 		if got < pkt.flits {
@@ -152,14 +155,16 @@ func (ni *netIface) ejectStep(cycle uint64) {
 		}
 		delete(ni.asm, pkt.ID)
 		pkt.ArrivedAt = cycle
-		ni.net.active--
+		sh.assembled++
 		if ni.net.fs != nil && !ni.net.fs.onAssembled(ni.net, pkt) {
 			return // failed the end-to-end check: corrupt, duplicate or lost
 		}
 		ni.delivered = append(ni.delivered, pkt)
-		st := &ni.net.stats
-		st.NetLatency.Add(float64(pkt.NetworkLatency()))
-		st.TotalLatency.Add(float64(pkt.TotalLatency()))
-		st.LatencyByClass[pkt.Class].Add(float64(pkt.NetworkLatency()))
+		sh.samples = append(sh.samples, latSample{
+			node:  ni.node,
+			net:   float64(pkt.NetworkLatency()),
+			tot:   float64(pkt.TotalLatency()),
+			class: pkt.Class,
+		})
 	})
 }

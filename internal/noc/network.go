@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/ring"
@@ -116,6 +117,14 @@ type Config struct {
 	EjQueueCap       int         // ejection queue capacity, flits
 	Seed             uint64
 	Fault            fault.Config // fault injection + health monitoring policy
+
+	// Shards partitions the mesh into column bands that tick on parallel
+	// worker goroutines (see shard.go). 0 or 1 runs the serial kernel; any
+	// value is clamped to [1, Width], and fault injection forces 1 (the
+	// injector's RNG draw order cannot be preserved across shards). Results
+	// are bit-identical for every value, so Shards never needs to appear in
+	// cache keys or config names.
+	Shards int
 }
 
 // DefaultConfig returns the paper's baseline mesh (Tables II/III): 6×6,
@@ -206,20 +215,20 @@ type meshNet struct {
 	active    int
 	nextPkt   uint64
 
-	// Active-component work lists: one bitset per Tick phase, indexed like
-	// the matching component slice. A component sets its bit when it gains
-	// work (a queued event, packet or flit) and the phase loop clears the
-	// bit once the component goes idle, so the common case — most tiles
-	// idle — costs nothing per cycle. Bits are only ever set for phases at
-	// or after the setter's own (channel sends from the router phase target
-	// the NEXT cycle's channel phase), so the in-order bitset iteration
-	// visits exactly the components the dense loops would have found
-	// non-idle, keeping equal-seeded runs bit-identical.
-	flitActive activeSet
-	credActive activeSet
-	injActive  activeSet
-	rtrActive  activeSet
-	ejActive   activeSet
+	// Active-component work lists live on the shards: one bitset per Tick
+	// phase per shard, indexed like the matching component slice but only
+	// ever holding bits for shard-owned components. A component sets its
+	// owner's bit when it gains work (a queued event, packet or flit) and
+	// the phase loop clears the bit once the component goes idle, so the
+	// common case — most tiles idle — costs nothing per cycle. Bits are
+	// only ever set for phases at or after the setter's own (channel sends
+	// from the router phase target the NEXT cycle's channel phase), so the
+	// in-order bitset iteration visits exactly the components the dense
+	// loops would have found non-idle, keeping equal-seeded runs
+	// bit-identical. A serial mesh is simply one shard covering every
+	// column.
+	shards []*meshShard
+	tickWG sync.WaitGroup
 
 	// interScratch is the reusable candidate buffer for checkerboard
 	// case-2 intermediate selection, sized once to the node count so route
@@ -268,8 +277,9 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	if err := cfg.Fault.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Mesh{meshNet{cfg: cfg, topo: topo, vcs: plan, rng: xrand.New(cfg.Seed)}}
+	m := &Mesh{}
 	n := &m.meshNet
+	n.cfg, n.topo, n.vcs, n.rng = cfg, topo, plan, xrand.New(cfg.Seed)
 	if cfg.Fault.Enabled() {
 		n.fs = newFaultState(cfg.Fault)
 	}
@@ -325,11 +335,11 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			if nb < 0 {
 				continue
 			}
-			ch := &channel{net: n, idx: len(n.flitChans), dst: n.routers[nb], dstPort: int(d.opposite())}
+			ch := &channel{idx: len(n.flitChans), src: NodeID(id), dst: n.routers[nb], dstPort: int(d.opposite())}
 			ch.q = ring.New[flitEvent](chanCap, chanCap)
 			r.outChans[d] = ch
 			n.flitChans = append(n.flitChans, ch)
-			cc := &creditChannel{net: n, idx: len(n.credChans), dst: r, dstPort: int(d)}
+			cc := &creditChannel{idx: len(n.credChans), src: nb, dst: r, dstPort: int(d)}
 			cc.q = ring.New[creditEvent](chanCap, chanCap)
 			n.routers[nb].credChans[int(d.opposite())] = cc
 			n.credChans = append(n.credChans, cc)
@@ -341,11 +351,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	for id := 0; id < nNodes; id++ {
 		n.nis = append(n.nis, newNetIface(NodeID(id), n.routers[id], n))
 	}
-	n.flitActive = newActiveSet(len(n.flitChans))
-	n.credActive = newActiveSet(len(n.credChans))
-	n.injActive = newActiveSet(nNodes)
-	n.rtrActive = newActiveSet(nNodes)
-	n.ejActive = newActiveSet(nNodes)
+	n.buildShards(cfg.Shards)
 	return m, nil
 }
 
@@ -417,49 +423,49 @@ func (n *meshNet) Delivered(node NodeID) []*Packet {
 	return out
 }
 
-// Tick advances one network cycle. Each phase walks only its active
-// components, in ascending index order — the same order the dense loops
-// used, so arbitration and fault-RNG draw sequences are unchanged: skipped
-// components are exactly those that would have no-opped.
+// Tick advances one network cycle: the serial prologue (cycle count, fault
+// machinery), the shard segments — each phase walking only its active
+// components in ascending index order, the same order the dense loops used,
+// so arbitration and fault-RNG draw sequences are unchanged — and the serial
+// epilogue (boundary hand-off, counter/sample merge, health monitors). With
+// one shard the segment runs inline and the tick is the serial kernel; with
+// more, the calling goroutine runs shard 0 itself while the executor runs
+// the rest, and the WaitGroup join is the cycle barrier.
 func (n *meshNet) Tick() {
+	n.tickPrologue()
+	if len(n.shards) == 1 {
+		n.shards[0].runSegment(n.cycle)
+	} else {
+		n.tickWG.Add(len(n.shards) - 1)
+		for _, sh := range n.shards[1:] {
+			submitShard(&sh.task)
+		}
+		n.shards[0].task.execute()
+		n.tickWG.Wait()
+	}
+	n.epilogue()
+}
+
+func (n *meshNet) tickPrologue() {
 	n.cycle++
 	if n.fs != nil {
 		n.fs.tick(n)
 	}
-	n.flitActive.forEach(func(i int) {
-		ch := n.flitChans[i]
-		ch.deliver(n.cycle)
-		if ch.q.Len() == 0 {
-			n.flitActive.clear(i)
-		}
-	})
-	n.credActive.forEach(func(i int) {
-		cc := n.credChans[i]
-		cc.deliver(n.cycle)
-		if cc.q.Len() == 0 {
-			n.credActive.clear(i)
-		}
-	})
-	n.injActive.forEach(func(i int) {
-		ni := n.nis[i]
-		ni.injectStep(n.cycle)
-		if ni.pend == 0 {
-			n.injActive.clear(i)
-		}
-	})
-	n.rtrActive.forEach(func(i int) {
-		r := n.routers[i]
-		r.step(n.cycle)
-		if r.busy == 0 {
-			n.rtrActive.clear(i)
-		}
-	})
-	n.ejActive.forEach(func(i int) {
-		n.nis[i].ejectStep(n.cycle)
-		if n.routers[i].ejCount == 0 {
-			n.ejActive.clear(i)
-		}
-	})
-	n.stats.Cycles++
-	n.observeHealth()
+}
+
+// tickAsync starts a cycle and dispatches every shard segment (including
+// shard 0) to the executor without waiting, so a Double network can overlap
+// its two slices' cycles; tickJoin completes it. The caller must pair every
+// tickAsync with a tickJoin before touching the network again.
+func (n *meshNet) tickAsync() {
+	n.tickPrologue()
+	n.tickWG.Add(len(n.shards))
+	for _, sh := range n.shards {
+		submitShard(&sh.task)
+	}
+}
+
+func (n *meshNet) tickJoin() {
+	n.tickWG.Wait()
+	n.epilogue()
 }

@@ -231,17 +231,16 @@ func (n *meshNet) observeHealth() {
 	}
 }
 
-// noteHop charges one switch traversal to pkt and trips the livelock
-// monitor when the hop budget is exhausted.
-func (n *meshNet) noteHop(pkt *Packet) {
-	pkt.hops++
-	if n.wd != nil && n.health == nil && n.hopBudget > 0 && pkt.hops > n.hopBudget {
-		d := n.diagnose("livelock")
-		d.Notes = append(d.Notes,
-			fmt.Sprintf("packet %d (%d->%d, attempt %d) exceeded hop budget %d",
-				pkt.ID, pkt.Src, pkt.Dst, pkt.attempt, n.hopBudget))
-		n.health = fault.Hang(fault.ErrLivelock, d)
-	}
+// tripLivelock raises the sticky livelock verdict for pkt, the cycle's
+// winning hop-budget violation (resolved across shards by the epilogue).
+// Runs only in the serial epilogue, so the diagnostic snapshot is taken at
+// a cycle boundary with every queue in a consistent state.
+func (n *meshNet) tripLivelock(pkt *Packet) {
+	d := n.diagnose("livelock")
+	d.Notes = append(d.Notes,
+		fmt.Sprintf("packet %d (%d->%d, attempt %d) exceeded hop budget %d",
+			pkt.ID, pkt.Src, pkt.Dst, pkt.attempt, n.hopBudget))
+	n.health = fault.Hang(fault.ErrLivelock, d)
 }
 
 // inNetworkFlits counts every flit currently buffered in the mesh: input

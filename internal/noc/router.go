@@ -65,6 +65,7 @@ type routerParams struct {
 type router struct {
 	p    routerParams
 	net  *meshNet
+	sh   *meshShard // owning column-band shard (assigned by buildShards)
 	rcD  uint64
 	vaD  uint64
 	stD  uint64
@@ -167,7 +168,7 @@ func (r *router) acceptFlit(port int, f Flit, cycle uint64) {
 	f.arrived = cycle
 	if ivc.buf.Len() == 0 && ivc.state == vcIdle {
 		r.busy++
-		r.net.rtrActive.set(int(r.p.node))
+		r.sh.rtrActive.set(int(r.p.node))
 	}
 	ivc.buf.Push(f)
 }
@@ -362,12 +363,12 @@ func (r *router) traverse(in, v int, cycle uint64) {
 	} else {
 		r.ejQ[op-int(numDirs)].Push(flitEvent{flit: f, due: cycle + r.stD})
 		r.ejCount++
-		r.net.ejActive.set(int(r.p.node))
+		r.sh.ejActive.set(int(r.p.node))
 	}
-	r.net.stats.FlitHops++
-	r.net.moveCount++
+	r.sh.flitHops++
+	r.sh.moves++
 	if f.Head {
-		r.net.noteHop(f.Pkt)
+		r.sh.noteHop(f.Pkt, r.p.node)
 	}
 	// Return the freed buffer slot upstream (direction inputs only; the
 	// network interface reads injection buffer occupancy directly).

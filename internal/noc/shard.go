@@ -1,0 +1,334 @@
+package noc
+
+import (
+	"runtime/pprof"
+	"strconv"
+
+	"repro/internal/ring"
+)
+
+// The sharded cycle kernel partitions the mesh into column bands and runs
+// each band's channel/NI/router phases on its own worker goroutine, with a
+// serial epilogue at the cycle boundary. Determinism is the design
+// constraint: a sharded run must be bit-identical to the serial kernel.
+// The scheme rests on three structural facts:
+//
+//  1. Single writer per channel. Every flit channel and credit channel has
+//     exactly one sending router, which sends at most one event per cycle
+//     (one switch-allocation grant per output port; one credit per input
+//     port). Channel queues are owned by the DESTINATION router's shard,
+//     which is the only code that pops them (the deliver phases).
+//  2. Column bands only share east/west links. North/south channels stay
+//     inside a band, so cross-shard traffic is exactly the E/W links that
+//     straddle a band edge. A cross-shard send is buffered in the sending
+//     shard's outgoing mailbox ring instead of touching the foreign queue;
+//     the serial epilogue drains the mailboxes into the owning queues in
+//     shard order. Channel latency means every sent event is due no earlier
+//     than the next cycle, so moving the hand-off from "during the cycle"
+//     to "end of the cycle" is invisible to the simulation.
+//  3. Order-sensitive global state is deferred and replayed. Float latency
+//     accumulators (stats.Mean sums depend on addition order), the livelock
+//     verdict (first trip wins) and scalar counters are recorded per shard
+//     during the parallel segment and merged in the epilogue in the exact
+//     order the serial kernel would have produced.
+//
+// During the parallel segment shards touch disjoint state only, so one
+// dispatch and one join per cycle suffice — there is no mid-cycle barrier
+// to amortize, and idle-shard workers park on the executor channel.
+
+// latSample is one delivered packet's deferred latency observation. Samples
+// are replayed into the stats.Mean accumulators in ascending node order
+// (the serial ejection-phase order), keeping float sums bit-identical.
+type latSample struct {
+	node  NodeID
+	net   float64
+	tot   float64
+	class TrafficClass
+}
+
+// flitMail is a cross-shard flit send parked in the source shard's mailbox.
+type flitMail struct {
+	ch *channel
+	ev flitEvent
+}
+
+// credMail is a cross-shard credit send parked in the source shard's mailbox.
+type credMail struct {
+	cc *creditChannel
+	ev creditEvent
+}
+
+// meshShard is one column band of the mesh: the per-phase active bitsets for
+// the components it owns, outgoing boundary mailboxes, and the deferred
+// fragments of global state its segment produces each cycle. Active sets are
+// indexed over the GLOBAL component index space but only ever hold bits for
+// owned components, so no bitset word is shared between shards.
+type meshShard struct {
+	idx int
+	net *meshNet
+
+	// Per-phase active work lists (see the activeSet comment in network.go);
+	// the per-shard split is what lets segments run without locks.
+	flitActive activeSet
+	credActive activeSet
+	injActive  activeSet
+	rtrActive  activeSet
+	ejActive   activeSet
+
+	// Outgoing boundary mailboxes, drained by the serial epilogue. Hard
+	// bounds: each boundary channel carries at most one event per cycle
+	// (one SA grant per output port, one credit per input port), so the
+	// rings are sized to the shard's boundary channel counts and a push
+	// past the bound is a protocol bug, not backpressure.
+	outFlit ring.Ring[flitMail]
+	outCred ring.Ring[credMail]
+
+	// Deferred integer counters, merged (summed) in the epilogue.
+	flitHops  uint64
+	moves     uint64
+	assembled int // packets fully assembled this cycle (decrements net.active)
+
+	// Deferred order-sensitive float samples, replayed node-ascending.
+	samples   []latSample
+	samplePos int
+
+	// Deferred livelock verdict: the shard's first over-budget packet. The
+	// epilogue picks the minimum router node across shards, matching the
+	// serial kernel's first-trip-wins order.
+	llPkt  *Packet
+	llNode NodeID
+
+	task shardTask
+}
+
+// shardOfX maps a column to its band: band k covers columns
+// [k*W/S, (k+1)*W/S), the near-equal split.
+func (n *meshNet) shardOfX(x int) int { return x * len(n.shards) / n.cfg.Width }
+
+// shardOf maps a node to its owning shard (NodeID is row-major: y*W+x).
+func (n *meshNet) shardOf(node NodeID) *meshShard {
+	return n.shards[n.shardOfX(int(node)%n.cfg.Width)]
+}
+
+// buildShards partitions the mesh into column bands and assigns component
+// ownership. requested is clamped to [1, Width]; fault injection forces one
+// shard because the injector's single RNG stream draws during flit/credit
+// sends and deliveries, whose interleaving across shards is not defined.
+func (n *meshNet) buildShards(requested int) {
+	s := requested
+	if s < 1 {
+		s = 1
+	}
+	if s > n.cfg.Width {
+		s = n.cfg.Width
+	}
+	if n.fs != nil {
+		s = 1
+	}
+	n.shards = make([]*meshShard, s)
+	for k := range n.shards {
+		sh := &meshShard{
+			idx:        k,
+			net:        n,
+			flitActive: newActiveSet(len(n.flitChans)),
+			credActive: newActiveSet(len(n.credChans)),
+			injActive:  newActiveSet(len(n.nis)),
+			rtrActive:  newActiveSet(len(n.routers)),
+			ejActive:   newActiveSet(len(n.routers)),
+		}
+		sh.task = shardTask{
+			wg:     &n.tickWG,
+			labels: pprof.Labels("noc_shard", strconv.Itoa(k)),
+		}
+		sh.task.run = func() { sh.runSegment(n.cycle) }
+		n.shards[k] = sh
+	}
+	for _, r := range n.routers {
+		r.sh = n.shardOf(r.p.node)
+	}
+	// Channel ownership: the destination router's shard pops the queue and
+	// tracks the active bit. A channel whose source router lives in another
+	// shard routes its sends through that shard's outgoing mailbox.
+	nbf := make([]int, s)
+	nbc := make([]int, s)
+	for _, ch := range n.flitChans {
+		src, dst := n.shardOf(ch.src), n.shardOf(ch.dst.p.node)
+		ch.sh = dst
+		if src != dst {
+			ch.xmail = &src.outFlit
+			nbf[src.idx]++
+		}
+	}
+	for _, cc := range n.credChans {
+		src, dst := n.shardOf(cc.src), n.shardOf(cc.dst.p.node)
+		cc.sh = dst
+		if src != dst {
+			cc.xmail = &src.outCred
+			nbc[src.idx]++
+		}
+	}
+	for k, sh := range n.shards {
+		if nbf[k] > 0 {
+			sh.outFlit = ring.New[flitMail](nbf[k], nbf[k])
+		}
+		if nbc[k] > 0 {
+			sh.outCred = ring.New[credMail](nbc[k], nbc[k])
+		}
+	}
+}
+
+// runSegment is one shard's slice of a cycle: the five phases over the
+// shard's own active components, in ascending index order (the serial
+// kernel's order restricted to this band). It touches only shard-owned
+// state plus this shard's outgoing mailboxes.
+func (sh *meshShard) runSegment(cycle uint64) {
+	n := sh.net
+	sh.flitActive.forEach(func(i int) {
+		ch := n.flitChans[i]
+		ch.deliver(cycle)
+		if ch.q.Len() == 0 {
+			sh.flitActive.clear(i)
+		}
+	})
+	sh.credActive.forEach(func(i int) {
+		cc := n.credChans[i]
+		cc.deliver(cycle)
+		if cc.q.Len() == 0 {
+			sh.credActive.clear(i)
+		}
+	})
+	sh.injActive.forEach(func(i int) {
+		ni := n.nis[i]
+		ni.injectStep(cycle)
+		if ni.pend == 0 {
+			sh.injActive.clear(i)
+		}
+	})
+	sh.rtrActive.forEach(func(i int) {
+		r := n.routers[i]
+		r.step(cycle)
+		if r.busy == 0 {
+			sh.rtrActive.clear(i)
+		}
+	})
+	sh.ejActive.forEach(func(i int) {
+		n.nis[i].ejectStep(cycle)
+		if n.routers[i].ejCount == 0 {
+			sh.ejActive.clear(i)
+		}
+	})
+}
+
+// noteHop charges one switch traversal to pkt and records the shard's first
+// hop-budget violation for the epilogue's livelock resolution. n.health is
+// only written in serial sections, so the read here is race-free.
+func (sh *meshShard) noteHop(pkt *Packet, node NodeID) {
+	pkt.hops++
+	n := sh.net
+	if n.wd == nil || n.health != nil || n.hopBudget <= 0 ||
+		pkt.hops <= n.hopBudget || sh.llPkt != nil {
+		return
+	}
+	sh.llPkt, sh.llNode = pkt, node
+}
+
+// epilogue is the serial tail of a cycle: it drains the boundary mailboxes
+// into their owning queues, merges the shards' deferred counters and
+// samples in serial-kernel order, resolves the livelock verdict, and runs
+// the end-of-cycle health monitors. Mailboxes drain here — not at the top
+// of the next cycle — so the conservation audit sees boundary flits in
+// their channel queues; every mailed event is due next cycle at the
+// earliest, so the owning shard processes it at the same cycle the serial
+// kernel would have.
+func (n *meshNet) epilogue() {
+	for _, sh := range n.shards {
+		for sh.outFlit.Len() > 0 {
+			m := sh.outFlit.Pop()
+			m.ch.q.Push(m.ev)
+			m.ch.sh.flitActive.set(m.ch.idx)
+		}
+		for sh.outCred.Len() > 0 {
+			m := sh.outCred.Pop()
+			m.cc.q.Push(m.ev)
+			m.cc.sh.credActive.set(m.cc.idx)
+		}
+		n.stats.FlitHops += sh.flitHops
+		n.moveCount += sh.moves
+		n.active -= sh.assembled
+		sh.flitHops, sh.moves, sh.assembled = 0, 0, 0
+	}
+	n.applySamples()
+	n.resolveLivelock()
+	n.stats.Cycles++
+	n.observeHealth()
+}
+
+// applySamples replays the shards' deferred latency samples into the float
+// accumulators in ascending node order — a k-way merge over the per-shard
+// buffers, each already node-sorted because a segment ejects in ascending
+// node order and every node belongs to exactly one shard. This reproduces
+// the serial kernel's Mean.Add sequence exactly, which is what keeps the
+// float sums (and so the golden digests) bit-identical.
+func (n *meshNet) applySamples() {
+	if len(n.shards) == 1 {
+		sh := n.shards[0]
+		for i := range sh.samples {
+			n.addSample(&sh.samples[i])
+		}
+		sh.samples = sh.samples[:0]
+		return
+	}
+	for {
+		var best *meshShard
+		for _, sh := range n.shards {
+			if sh.samplePos == len(sh.samples) {
+				continue
+			}
+			if best == nil || sh.samples[sh.samplePos].node < best.samples[best.samplePos].node {
+				best = sh
+			}
+		}
+		if best == nil {
+			break
+		}
+		node := best.samples[best.samplePos].node
+		for best.samplePos < len(best.samples) && best.samples[best.samplePos].node == node {
+			n.addSample(&best.samples[best.samplePos])
+			best.samplePos++
+		}
+	}
+	for _, sh := range n.shards {
+		sh.samples = sh.samples[:0]
+		sh.samplePos = 0
+	}
+}
+
+func (n *meshNet) addSample(s *latSample) {
+	n.stats.NetLatency.Add(s.net)
+	n.stats.TotalLatency.Add(s.tot)
+	n.stats.LatencyByClass[s.class].Add(s.net)
+}
+
+// resolveLivelock turns the shards' deferred hop-budget violations into the
+// sticky health verdict. The minimum router node wins, matching the serial
+// kernel's ascending-order first trip.
+func (n *meshNet) resolveLivelock() {
+	var best *meshShard
+	for _, sh := range n.shards {
+		if sh.llPkt == nil {
+			continue
+		}
+		if best == nil || sh.llNode < best.llNode {
+			best = sh
+		}
+	}
+	if best == nil {
+		return
+	}
+	if n.wd != nil && n.health == nil {
+		n.tripLivelock(best.llPkt)
+	}
+	for _, sh := range n.shards {
+		sh.llPkt = nil
+	}
+}

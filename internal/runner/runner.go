@@ -50,6 +50,13 @@ type Options struct {
 	// "timeout") gets before it is recorded; deterministic verdicts
 	// (deadlock, livelock, cycle-cap, panic) are never retried.
 	Retries int
+	// Shards is the default intra-run shard request applied to every
+	// config whose own Shards field is zero (core.ShardsAuto = machine
+	// pick). Whatever the source, the pool caps the effective value with
+	// CapShards so Jobs×Shards worker goroutines never exceed GOMAXPROCS.
+	// Sharding is result-invariant, so it does not participate in cache
+	// keys or checkpoint identity.
+	Shards int
 	// Backoff is the base delay before the first retry; successive
 	// retries double it, each with ±50% deterministic jitter. 0 means
 	// DefaultBackoff.
@@ -102,6 +109,30 @@ func (o Outcome) OK() bool { return o.Result.OK() }
 // Deterministic verdicts — deadlock, livelock, cycle-cap, invariant,
 // panic — always reproduce, so retrying them only wastes the sweep's time.
 func Retryable(status string) bool { return status == "stall" || status == "timeout" }
+
+// CapShards bounds one run's intra-run shard request so that jobs
+// concurrent runs never oversubscribe the machine: every run gets at most
+// its fair share of maxprocs (but never less than one worker). A request of
+// core.ShardsAuto (or any negative) resolves to exactly the fair share, so
+// "-jobs 4 -shards auto" on a 16-way box gives each run 4 shards instead of
+// 4×16 runnable goroutines. Zero stays zero: a serial run stays serial.
+// Sharding never changes results, so capping is invisible to cache keys.
+func CapShards(requested, jobs, maxprocs int) int {
+	if requested == 0 {
+		return 0
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	per := maxprocs / jobs
+	if per < 1 {
+		per = 1
+	}
+	if requested < 0 || requested > per {
+		return per
+	}
+	return requested
+}
 
 // Key derives the cache/journal identity of a configuration: name,
 // benchmark, seed and scaled kernel length. Two configs that differ only
@@ -295,6 +326,10 @@ func (p *Pool) runOnce(cfg core.Config) (res core.Result, err error, stack strin
 			res = core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "panic"}
 		}
 	}()
+	if cfg.Shards == 0 {
+		cfg.Shards = p.opts.Shards
+	}
+	cfg.Shards = CapShards(cfg.Shards, p.opts.Jobs, runtime.GOMAXPROCS(0))
 	res, err = p.run(ctx, cfg)
 	if res.Benchmark == "" {
 		res.Benchmark = cfg.Workload.Abbr

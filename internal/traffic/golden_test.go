@@ -72,35 +72,44 @@ func digestOpenLoop(res Result, ns *noc.NetStats) string {
 }
 
 // TestOpenLoopGoldenDigests pins the open-loop harness bit-exactly at four
-// seeded operating points.
+// seeded operating points, for the serial kernel and under 2- and 4-way
+// column-band sharding — one digest table covers all three, since sharding
+// must never change simulated behaviour.
 func TestOpenLoopGoldenDigests(t *testing.T) {
 	record := os.Getenv("GOLDEN_RECORD") != ""
 	for _, og := range openMatrix() {
 		og := og
-		t.Run(og.id, func(t *testing.T) {
-			var last noc.Network
-			runner := NewRunner(func() (noc.Network, *noc.Topology) {
-				m := noc.MustNewMesh(og.mesh())
-				last = m
-				return m, m.Topology()
+		for _, shards := range []int{1, 2, 4} {
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards-%d", og.id, shards), func(t *testing.T) {
+				var last noc.Network
+				runner := NewRunner(func() (noc.Network, *noc.Topology) {
+					mc := og.mesh()
+					mc.Shards = shards
+					m := noc.MustNewMesh(mc)
+					last = m
+					return m, m.Topology()
+				})
+				cfg := DefaultConfig()
+				cfg.Pattern = og.pattern
+				cfg.InjectionRate = og.rate
+				cfg.WarmupCycles = 500
+				cfg.MeasureCycles = 2000
+				cfg.DrainCycles = 4000
+				res := runner.Run(cfg)
+				got := digestOpenLoop(res, last.Stats())
+				if record {
+					if shards == 1 {
+						fmt.Printf("\t%q: %q,\n", og.id, got)
+					}
+					return
+				}
+				want := openGoldenDigests[og.id]
+				if got != want {
+					t.Errorf("open-loop digest mismatch for %s at %d shards:\n got  %s\n want %s",
+						og.id, shards, got, want)
+				}
 			})
-			cfg := DefaultConfig()
-			cfg.Pattern = og.pattern
-			cfg.InjectionRate = og.rate
-			cfg.WarmupCycles = 500
-			cfg.MeasureCycles = 2000
-			cfg.DrainCycles = 4000
-			res := runner.Run(cfg)
-			got := digestOpenLoop(res, last.Stats())
-			if record {
-				fmt.Printf("\t%q: %q,\n", og.id, got)
-				return
-			}
-			want := openGoldenDigests[og.id]
-			if got != want {
-				t.Errorf("open-loop digest mismatch for %s:\n got  %s\n want %s",
-					og.id, got, want)
-			}
-		})
+		}
 	}
 }
