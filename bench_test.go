@@ -194,6 +194,90 @@ func BenchmarkFig21OpenLoop(b *testing.B) {
 	}
 }
 
+// idleSkipClosedLoopConfig builds the memory-bound closed-loop system the
+// idle-horizon benchmarks measure: a single SIMT core on a 2×2 mesh whose
+// other three tiles are memory controllers, one resident warp streaming an
+// L2-resident working set through a deep (128-cycle) memory pipeline. Every
+// memory instruction parks the warp on an outstanding fill with the mesh
+// quiescent and DRAM idle — the bursty stall-dominated regime where
+// idle-horizon fast-forwarding pays, and the worst case for edge-by-edge
+// stepping. Wide flits and 1-cycle routers keep the busy fraction of each
+// round trip small so the skippable window dominates.
+func idleSkipClosedLoopConfig() core.Config {
+	prof := workload.Profile{
+		Name: "MemStall", Abbr: "MSTL", Class: "LH",
+		Warps: 1, InstrsPerWarp: 3000,
+		MemFraction: 1.0, WriteFraction: 0, LinesPerMemInstr: 1,
+		ActiveThreads: 32, WorkingSetKB: 64,
+		Sequential: 1.0, Reuse: 0,
+	}
+	cfg := core.Baseline(prof)
+	cfg.Name = "IdleSkip-MemBound"
+	nc := noc.DefaultConfig()
+	nc.Width, nc.Height = 2, 2
+	nc.MCs = []noc.NodeID{1, 2, 3}
+	nc.RouterStages = 1
+	nc.HalfRouterStages = 1
+	nc.FlitBytes = 64
+	cfg.Noc = nc
+	cfg.Mem.L2Latency = 128
+	return cfg
+}
+
+// BenchmarkIdleSkipClosedLoop times the memory-bound closed-loop run with
+// idle-horizon fast-forwarding on (the default) and off. Results are
+// bit-identical between the two modes (TestIdleSkipEquivalence); only
+// wall-clock differs, so skip-vs-noskip ns/op is the speedup.
+func BenchmarkIdleSkipClosedLoop(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSkip bool
+	}{{"skip", false}, {"noskip", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := idleSkipClosedLoopConfig()
+			cfg.NoIdleSkip = mode.noSkip
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res := core.MustRun(cfg)
+				if !res.OK() {
+					b.Fatal(res.Status)
+				}
+				cycles = res.IcntCycles
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Micnt_cycles_per_sec")
+		})
+	}
+}
+
+// BenchmarkIdleSkipOpenLoopDrain times an open-loop point whose long drain
+// phase is almost entirely idle: a low injection rate empties the mesh
+// quickly, after which edge-by-edge stepping burns the rest of the drain
+// window ticking an empty network while the drain-phase fast-forward jumps
+// straight to the end. Digests are bit-identical between modes
+// (TestOpenLoopIdleSkipEquivalence).
+func BenchmarkIdleSkipOpenLoopDrain(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSkip bool
+	}{{"skip", false}, {"noskip", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			runner := traffic.NewMeshRunner(noc.DefaultConfig())
+			cfg := traffic.DefaultConfig()
+			cfg.InjectionRate = 0.005
+			cfg.WarmupCycles = 500
+			cfg.MeasureCycles = 2000
+			cfg.DrainCycles = 80000
+			cfg.NoIdleSkip = mode.noSkip
+			for i := 0; i < b.N; i++ {
+				res := runner.Run(cfg)
+				if res.MeasuredPackets == 0 {
+					b.Fatal("no packets measured")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable06Area regenerates the area table.
 func BenchmarkTable06Area(b *testing.B) {
 	for i := 0; i < b.N; i++ {

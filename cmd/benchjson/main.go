@@ -8,7 +8,8 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -label after-refactor -out BENCH_2026-08-06.json
 //
 // The output file holds {"captures": [...]}: one entry per invocation, in
-// order, each with its label, timestamp, toolchain and benchmark table.
+// order, each with its label, timestamp, toolchain, host parallelism and
+// benchmark table, plus a per-family geometric-mean summary.
 // scripts/bench.sh wraps the whole flow.
 package main
 
@@ -17,9 +18,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -27,17 +30,35 @@ import (
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"` // unit -> value (ns/op, B/op, allocs/op, ...)
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Procs is the GOMAXPROCS the row ran under (go test's "-N" name
+	// suffix). Interpreting parallel rows — sharded-kernel speedups above
+	// all — requires it: a speedup measured on one core is pure overhead.
+	Procs   int                `json:"procs,omitempty"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> value (ns/op, B/op, allocs/op, ...)
+}
+
+// FamilySummary aggregates one benchmark family (the name up to the first
+// '/' or shard suffix) into a geometric-mean ns/op, so a capture can be
+// compared at a glance without reading every row.
+type FamilySummary struct {
+	Family         string  `json:"family"`
+	Count          int     `json:"count"`
+	GeomeanNsPerOp float64 `json:"geomean_ns_per_op"`
 }
 
 // Capture is one benchjson invocation.
 type Capture struct {
-	Label      string      `json:"label"`
-	Date       string      `json:"date"`
-	Go         string      `json:"go"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	Go    string `json:"go"`
+	// GoMaxProcs and NumCPU record the capturing host's parallelism so a
+	// reader can tell real sharded speedups from single-core overhead runs.
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
+	Benchmarks []Benchmark     `json:"benchmarks"`
+	Summary    []FamilySummary `json:"summary,omitempty"`
 }
 
 // File is the on-disk shape of a capture file.
@@ -60,11 +81,19 @@ func main() {
 		os.Exit(1)
 	}
 	deriveSpeedups(benches)
+	deriveSkipSpeedups(benches)
 	cap := Capture{
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchmarks: benches,
+		Summary:    summarize(benches),
+	}
+	for _, s := range cap.Summary {
+		fmt.Fprintf(os.Stderr, "benchjson: %-28s geomean %s ns/op over %d benchmark(s)\n",
+			s.Family, strconv.FormatFloat(s.GeomeanNsPerOp, 'f', -1, 64), s.Count)
 	}
 
 	var f File
@@ -118,10 +147,13 @@ func parse(r *os.File) ([]Benchmark, error) {
 			fmt.Fprintln(os.Stderr, line)
 			continue
 		}
+		// Record the -GOMAXPROCS suffix as Procs, then strip it from the
+		// name so captures on different hosts compare.
+		name, procs := splitProcs(fields[0])
 		b := Benchmark{
-			// Strip the -GOMAXPROCS suffix so captures on different hosts compare.
-			Name:       stripProcs(fields[0]),
+			Name:       name,
 			Iterations: iters,
+			Procs:      procs,
 			Metrics:    make(map[string]float64, (len(fields)-2)/2),
 		}
 		ok := true
@@ -150,8 +182,9 @@ var shardSuffix = regexp.MustCompile(`^(.*)-s(\d+)$`)
 // deriveSpeedups adds a speedup_vs_s1 metric to every benchmark named
 // "<base>-s<N>" (N > 1) that has a "<base>-s1" serial baseline in the same
 // capture: serial ns/op divided by sharded ns/op, so >1 means the sharded
-// kernel is faster. Values below 1 on low-core hosts are expected — they
-// record the coordination overhead honestly instead of hiding it.
+// kernel is faster. Rows that ran on a single processor are skipped: with
+// one core a sharded kernel cannot run its bands in parallel, so the ratio
+// would measure pure coordination overhead and read as a regression.
 func deriveSpeedups(benches []Benchmark) {
 	serial := make(map[string]float64)
 	for _, b := range benches {
@@ -164,6 +197,9 @@ func deriveSpeedups(benches []Benchmark) {
 		if m == nil || m[2] == "1" {
 			continue
 		}
+		if benches[i].Procs <= 1 {
+			continue // single-core host: the ratio would be meaningless
+		}
 		base, ok := serial[m[1]]
 		ns := benches[i].Metrics["ns/op"]
 		if !ok || base <= 0 || ns <= 0 {
@@ -173,14 +209,90 @@ func deriveSpeedups(benches []Benchmark) {
 	}
 }
 
-// stripProcs removes a trailing "-N" GOMAXPROCS suffix from a benchmark name.
-func stripProcs(name string) string {
+// deriveSkipSpeedups adds a speedup_vs_noskip metric to every "<base>/skip"
+// benchmark with a "<base>/noskip" sibling in the same capture: edge-by-edge
+// ns/op divided by fast-forwarding ns/op. Unlike the sharded speedups this
+// holds on any host — idle-horizon skipping is single-threaded work
+// avoidance, not parallelism.
+func deriveSkipSpeedups(benches []Benchmark) {
+	noskip := make(map[string]float64)
+	for _, b := range benches {
+		if base, ok := strings.CutSuffix(b.Name, "/noskip"); ok {
+			noskip[base] = b.Metrics["ns/op"]
+		}
+	}
+	for i := range benches {
+		base, ok := strings.CutSuffix(benches[i].Name, "/skip")
+		if !ok {
+			continue
+		}
+		ref, ok := noskip[base]
+		ns := benches[i].Metrics["ns/op"]
+		if !ok || ref <= 0 || ns <= 0 {
+			continue
+		}
+		benches[i].Metrics["speedup_vs_noskip"] = ref / ns
+	}
+}
+
+// summarize returns one geometric-mean ns/op entry per benchmark family,
+// sorted by family name. The family is the benchmark name with its
+// sub-benchmark path and any shard suffix removed, so e.g.
+// "BenchmarkShardedKernel/uniform-s4" and "...-s1" aggregate together.
+func summarize(benches []Benchmark) []FamilySummary {
+	type acc struct {
+		logSum float64
+		n      int
+	}
+	fams := make(map[string]*acc)
+	for _, b := range benches {
+		ns := b.Metrics["ns/op"]
+		if ns <= 0 {
+			continue
+		}
+		f := family(b.Name)
+		a := fams[f]
+		if a == nil {
+			a = &acc{}
+			fams[f] = a
+		}
+		a.logSum += math.Log(ns)
+		a.n++
+	}
+	out := make([]FamilySummary, 0, len(fams))
+	for f, a := range fams {
+		out = append(out, FamilySummary{
+			Family:         f,
+			Count:          a.n,
+			GeomeanNsPerOp: math.Exp(a.logSum / float64(a.n)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// family strips the sub-benchmark path and shard suffix from a name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if m := shardSuffix.FindStringSubmatch(name); m != nil {
+		name = m[1]
+	}
+	return name
+}
+
+// splitProcs splits a trailing "-N" GOMAXPROCS suffix off a benchmark name,
+// returning the bare name and N. go test omits the suffix entirely when
+// GOMAXPROCS is 1, so a name without one ran single-core.
+func splitProcs(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 1
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], n
 }

@@ -44,6 +44,8 @@ func main() {
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip finished runs")
+	idleSkip := flag.Bool("idle-skip", true,
+		"fast-forward fully idle windows across clock domains (bit-identical results; disable to force edge-by-edge stepping)")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	pprofOut := prof.AddFlags()
 	flag.Usage = func() {
@@ -70,6 +72,7 @@ func main() {
 		Scale:      *scale,
 		Jobs:       *jobs,
 		Shards:     *shards,
+		NoIdleSkip: !*idleSkip,
 		RunTimeout: *runTimeout,
 		Retries:    *retries,
 		Checkpoint: *checkpoint,

@@ -67,6 +67,8 @@ func main() {
 		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*shards <= GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
+	idleSkip := flag.Bool("idle-skip", true,
+		"fast-forward fully idle windows across clock domains (bit-identical results; disable to force edge-by-edge stepping)")
 	pprofOut := prof.AddFlags()
 	flag.Parse()
 
@@ -116,6 +118,7 @@ func main() {
 		if *faultRate > 0 {
 			cfg = cfg.WithFaults(*faultRate, *faultSeed)
 		}
+		cfg.NoIdleSkip = !*idleSkip
 		cfgs[i] = cfg.WithWatchdog(*watchdog)
 	}
 	if err := pprofOut.Start(); err != nil {

@@ -141,6 +141,17 @@ func (c *Cache) Access(a addr.Address, isWrite bool) (hit bool) {
 	return false
 }
 
+// CreditMissRetries accounts k repeated missing Accesses to the same
+// blocked line without touching array state. A stalled front-of-queue
+// request that retries every cycle ticks the LRU clock and records a miss
+// each time but never changes tag/LRU/dirty state (the line is absent, and
+// misses do not update LRU); idle-horizon fast-forward uses this to credit
+// a skipped window of such retries in O(1) with bit-identical counters.
+func (c *Cache) CreditMissRetries(k uint64) {
+	c.tick += k
+	c.stats.Misses += k
+}
+
 // Fill installs the line holding a, evicting the LRU way if needed.
 // When the victim is dirty, Fill returns its line base address and
 // writeback=true so the caller can issue the write-back request.

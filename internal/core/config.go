@@ -87,6 +87,15 @@ type Config struct {
 	// the machine. Results are bit-identical for every value, so Shards is
 	// deliberately excluded from Name suffixes and cache keys.
 	Shards int
+
+	// NoIdleSkip disables idle-horizon fast-forwarding: when every
+	// subsystem reports a quiescent window (see Network.NextWorkCycle and
+	// the per-component SkipAhead contracts in DESIGN.md) the driver
+	// normally bulk-advances the scheduler to the earliest work horizon
+	// instead of stepping edge by edge. Skipping changes wall-clock time
+	// only, never results, so — like Shards — it is deliberately excluded
+	// from Name suffixes and cache keys. The zero value keeps skipping on.
+	NoIdleSkip bool
 }
 
 // ShardsAuto asks NewSystem to pick the shard count from the machine:

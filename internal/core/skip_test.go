@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/workload"
+)
+
+// checkSkipEquivalence runs cfg with idle-horizon fast-forwarding enabled
+// (the default) and disabled and fails unless the two runs are
+// bit-identical. Field-level comparison runs first so a divergence points
+// at the counter that drifted, not just at a hash.
+func checkSkipEquivalence(t *testing.T, cfg Config) {
+	t.Helper()
+
+	off := cfg
+	off.NoIdleSkip = true
+	sysOff, err := NewSystem(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, errOff := sysOff.Run(nil)
+	if errOff != nil {
+		t.Fatalf("no-skip run degraded: %v", errOff)
+	}
+
+	on := cfg
+	on.NoIdleSkip = false
+	sysOn, err := NewSystem(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOn, errOn := sysOn.Run(nil)
+	if errOn != nil {
+		t.Fatalf("skip run degraded: %v", errOn)
+	}
+
+	if resOn != resOff {
+		t.Errorf("Result differs with skipping:\n skip:    %+v\n no-skip: %+v", resOn, resOff)
+	}
+	nsOn, nsOff := sysOn.NetStats(), sysOff.NetStats()
+	if nsOn.Cycles != nsOff.Cycles {
+		t.Errorf("net Cycles: skip %d, no-skip %d", nsOn.Cycles, nsOff.Cycles)
+	}
+	if nsOn.FlitHops != nsOff.FlitHops {
+		t.Errorf("FlitHops: skip %d, no-skip %d", nsOn.FlitHops, nsOff.FlitHops)
+	}
+	for i := range nsOn.InjectedFlits {
+		if nsOn.InjectedFlits[i] != nsOff.InjectedFlits[i] {
+			t.Errorf("InjectedFlits[%d]: skip %d, no-skip %d", i, nsOn.InjectedFlits[i], nsOff.InjectedFlits[i])
+		}
+	}
+	dOn := digestRun(resOn, nsOn)
+	dOff := digestRun(resOff, nsOff)
+	if dOn != dOff {
+		t.Errorf("digest differs with skipping: %s vs %s", dOn, dOff)
+	}
+}
+
+// TestIdleSkipEquivalence proves idle-horizon fast-forwarding is invisible:
+// every golden configuration must produce the SAME digest with skipping
+// enabled and disabled, at every shard count of the determinism matrix.
+func TestIdleSkipEquivalence(t *testing.T) {
+	for _, gc := range goldenMatrix() {
+		gc := gc
+		for _, shards := range goldenShardCounts {
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards-%d", gc.id, shards), func(t *testing.T) {
+				checkSkipEquivalence(t, gc.build().WithShards(shards))
+			})
+		}
+	}
+}
+
+// TestIdleSkipEquivalenceMemBound covers the stall-dominated regime the
+// golden matrix barely enters: a single core parking its only warp on a
+// deep (128-cycle) memory pipeline, so nearly every cycle sits inside a
+// skippable window and the fast-forward machinery — not the edge-by-edge
+// path — produces almost all of the run. This is the configuration
+// BenchmarkIdleSkipClosedLoop times.
+func TestIdleSkipEquivalenceMemBound(t *testing.T) {
+	prof := workload.Profile{
+		Name: "MemStall", Abbr: "MSTL", Class: "LH",
+		Warps: 1, InstrsPerWarp: 600,
+		MemFraction: 1.0, WriteFraction: 0, LinesPerMemInstr: 1,
+		ActiveThreads: 32, WorkingSetKB: 64,
+		Sequential: 1.0, Reuse: 0,
+	}
+	cfg := Baseline(prof)
+	cfg.Name = "IdleSkip-MemBound"
+	nc := noc.DefaultConfig()
+	nc.Width, nc.Height = 2, 2
+	nc.MCs = []noc.NodeID{1, 2, 3}
+	nc.RouterStages = 1
+	nc.HalfRouterStages = 1
+	nc.FlitBytes = 64
+	cfg.Noc = nc
+	cfg.Mem.L2Latency = 128
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			checkSkipEquivalence(t, cfg.WithShards(shards))
+		})
+	}
+}

@@ -165,6 +165,59 @@ func (c *Controller) QueueLen() int { return len(c.queue) }
 // Busy reports whether any work is queued or in flight.
 func (c *Controller) Busy() bool { return len(c.queue) > 0 || len(c.inflight) > 0 }
 
+// Now returns the controller's cycle counter (Tick count so far).
+func (c *Controller) Now() uint64 { return c.now }
+
+// NeverCycle is the NextWorkCycle sentinel for "idle until new requests
+// arrive".
+const NeverCycle = ^uint64(0)
+
+// NextWorkCycle returns the exact cycle count at which the next Tick does
+// real work — issues a transaction or completes a burst. With an empty
+// machine it returns NeverCycle; only Enqueue creates new work. Between
+// now and the returned cycle each Tick only advances the clock and accrues
+// the busy/occupancy counters, which SkipAhead replays in O(1).
+//
+// Exactness: a queued request issues on the first tick where its bank's
+// readyAt has passed, so the earliest candidate is max(now+1, min over
+// queue of readyAt); no earlier tick can issue anything, and completions
+// fire precisely at their recorded doneAt.
+func (c *Controller) NextWorkCycle() uint64 {
+	if !c.Busy() {
+		return NeverCycle
+	}
+	next := NeverCycle
+	for i := range c.inflight {
+		if c.inflight[i].doneAt < next {
+			next = c.inflight[i].doneAt
+		}
+	}
+	if len(c.queue) > 0 {
+		minReady := NeverCycle
+		for i := range c.queue {
+			if r := c.banks[c.queue[i].bank].readyAt; r < minReady {
+				minReady = r
+			}
+		}
+		if issueAt := max64(c.now+1, minReady); issueAt < next {
+			next = issueAt
+		}
+	}
+	return next
+}
+
+// SkipAhead credits k idle ticks in O(1): the clock and the busy-time /
+// queue-occupancy statistics advance exactly as k Ticks would (Busy() is
+// invariant over a window with no issues, completions or enqueues).
+func (c *Controller) SkipAhead(k uint64) {
+	c.now += k
+	if c.Busy() {
+		c.stats.ActiveCycles += k
+		c.stats.TotalQueueSamples += k
+		c.stats.QueueOccupancySum += k * uint64(len(c.queue))
+	}
+}
+
 // Stats returns activity counters.
 func (c *Controller) Stats() Stats { return c.stats }
 

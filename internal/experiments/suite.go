@@ -49,6 +49,10 @@ type Options struct {
 	// value so Jobs×Shards never oversubscribes GOMAXPROCS; results are
 	// bit-identical at any shard count.
 	Shards int
+	// NoIdleSkip forces edge-by-edge stepping instead of idle-horizon
+	// fast-forwarding. Results are bit-identical either way, so like
+	// Shards it never enters cache keys; the zero value keeps skipping on.
+	NoIdleSkip bool
 	// RunTimeout is the per-run wall-clock deadline; a run that exceeds
 	// it becomes a "timeout" DNF row. 0 disables the deadline.
 	RunTimeout time.Duration
@@ -169,7 +173,9 @@ func (s *Suite) report(out runner.Outcome) {
 // set and is listed by DNF, so the remaining benchmarks still run and the
 // report marks the failure.
 func (s *Suite) run(cfg core.Config) core.Result {
-	return s.pool.Do(cfg.ScaleWork(s.opts.Scale)).Result
+	cfg = cfg.ScaleWork(s.opts.Scale)
+	cfg.NoIdleSkip = s.opts.NoIdleSkip
+	return s.pool.Do(cfg).Result
 }
 
 // runAll warms the result cache by pushing cfgs through the worker pool in
@@ -180,6 +186,7 @@ func (s *Suite) runAll(cfgs []core.Config) {
 	scaled := make([]core.Config, len(cfgs))
 	for i, c := range cfgs {
 		scaled[i] = c.ScaleWork(s.opts.Scale)
+		scaled[i].NoIdleSkip = s.opts.NoIdleSkip
 	}
 	s.pool.DoAll(scaled)
 }

@@ -121,6 +121,7 @@ type Core struct {
 	memQ          ring.Ring[memAccess]  // coalesced accesses awaiting the L1 port
 	outQ          ring.Ring[MemRequest] // grows past OutQueueCap only for write-backs
 	issueCooldown int
+	memBlocked    bool // memQ front failed tryAccess; only external events unblock it
 
 	flushed  bool
 	stats    Stats
@@ -274,9 +275,11 @@ func (c *Core) memoryUnit() {
 		return
 	}
 	if !c.tryAccess(*c.memQ.Front()) {
+		c.memBlocked = true
 		c.stats.MemStallFull++
 		return
 	}
+	c.memBlocked = false
 	c.progress++
 	c.memQ.Pop()
 }
@@ -312,6 +315,7 @@ func (c *Core) tryAccess(acc memAccess) bool {
 // DeliverFill completes an in-flight line fetch (a read reply arrived).
 func (c *Core) DeliverFill(line addr.Address) {
 	c.progress++
+	c.memBlocked = false // freed MSHR entry / filled line may unblock memQ
 	victim, wb := c.l1.Fill(line, c.pendingStores[line])
 	delete(c.pendingStores, line)
 	if wb {
@@ -328,6 +332,7 @@ func (c *Core) PopRequest() (MemRequest, bool) {
 	if c.outQ.Len() == 0 {
 		return MemRequest{}, false
 	}
+	c.memBlocked = false // out-queue space may unblock a stalled miss
 	return c.outQ.Pop(), true
 }
 
@@ -369,6 +374,60 @@ func (c *Core) Done() bool {
 // issued, L1 accesses completed, fills delivered). The system stall
 // watchdog compares it across cycles to detect a wedged machine.
 func (c *Core) Progress() uint64 { return c.progress }
+
+// NeverCycle is the NextWorkCycle sentinel for "no future work without an
+// external event" (a fill delivery or an out-queue drain).
+const NeverCycle = ^uint64(0)
+
+// NextWorkCycle returns a conservative bound on the next cycle count at
+// which Tick would do something beyond the deterministic idle-tick credits
+// that SkipAhead replays (cycle/cooldown/stall counters and blocked
+// front-of-memQ retries). Until that cycle — or an external DeliverFill /
+// PopRequest, which the caller must treat as invalidating — every Tick is
+// equivalent to a unit of SkipAhead.
+func (c *Core) NextWorkCycle() uint64 {
+	// End-of-kernel flush fires on the next tick.
+	if !c.flushed && c.gen.AllDone() && c.allWarpsIdle() && c.memQ.Len() == 0 {
+		return c.stats.Cycles + 1
+	}
+	// An untried (or externally unblocked) memQ front accesses the L1 on
+	// the next tick; a blocked front only retries, which SkipAhead credits.
+	if c.memQ.Len() > 0 && !c.memBlocked {
+		return c.stats.Cycles + 1
+	}
+	for i := range c.warps {
+		ws := &c.warps[i]
+		if len(ws.pendingLines) > 0 {
+			return c.stats.Cycles + 1
+		}
+		if ws.ready() {
+			// Issues (or discovers generator exhaustion) once the
+			// pipeline cooldown expires.
+			return c.stats.Cycles + uint64(c.issueCooldown) + 1
+		}
+	}
+	// Every warp is done, at a barrier held open by a fill-waiting peer,
+	// or waiting on outstanding fetches; only DeliverFill wakes the core.
+	return NeverCycle
+}
+
+// SkipAhead credits k consecutive idle ticks in O(1), with counters
+// bit-identical to calling Tick k times under NextWorkCycle's guarantee:
+// the cycle counter advances, the issue cooldown drains into issue stalls,
+// and a blocked memQ front accrues its per-cycle retry miss accounting.
+func (c *Core) SkipAhead(k uint64) {
+	c.stats.Cycles += k
+	if uint64(c.issueCooldown) >= k {
+		c.issueCooldown -= int(k)
+	} else {
+		c.stats.IssueStalls += k - uint64(c.issueCooldown)
+		c.issueCooldown = 0
+	}
+	if c.memQ.Len() > 0 {
+		c.stats.MemStallFull += k
+		c.l1.CreditMissRetries(k)
+	}
+}
 
 // Stats returns the activity counters.
 func (c *Core) Stats() Stats { return c.stats }

@@ -284,6 +284,56 @@ func (m *MCNode) TickDRAM() {
 	}
 }
 
+// NeverCycle is the horizon sentinel for "no future work without an
+// external event".
+const NeverCycle = ^uint64(0)
+
+// NextIcntWorkCycle returns a conservative bound on the next TickIcnt
+// cycle argument at which the MC does interconnect-side work, given that
+// the next TickIcnt call would carry the argument now. Queued requests or
+// ready replies mean work immediately; a maturing L2 hit works when its
+// latency expires; an MC waiting only on DRAM (or idle) never works on
+// the interconnect clock until an external event, and its per-tick
+// cycle/active counters are credited by SkipIcnt.
+func (m *MCNode) NextIcntWorkCycle(now uint64) uint64 {
+	if m.inQ.Len() > 0 || m.replyQ.Len() > 0 {
+		return now
+	}
+	if m.hitQ.Len() > 0 {
+		if d := m.hitQ.Front().due; d > now {
+			return d
+		}
+		return now
+	}
+	return NeverCycle
+}
+
+// SkipIcnt credits k idle interconnect ticks: cycle and active-cycle
+// counters advance exactly as k TickIcnt calls would (Busy() is invariant
+// over a window with no work on any clock domain).
+func (m *MCNode) SkipIcnt(k uint64) {
+	m.stats.Cycles += k
+	if m.Busy() {
+		m.stats.ActiveCycles += k
+	}
+}
+
+// NextDRAMWorkCycle returns the controller-cycle count at which the next
+// TickDRAM does real work: drains a pending write-back into a free queue
+// slot, issues a DRAM transaction, or completes a burst.
+func (m *MCNode) NextDRAMWorkCycle() uint64 {
+	next := m.ctl.NextWorkCycle()
+	if m.writeQ.Len() > 0 && m.ctl.CanAccept() {
+		if w := m.ctl.Now() + 1; w < next {
+			next = w
+		}
+	}
+	return next
+}
+
+// SkipDRAM credits k idle DRAM ticks through to the channel controller.
+func (m *MCNode) SkipDRAM(k uint64) { m.ctl.SkipAhead(k) }
+
 // Busy reports whether the MC holds or awaits any work.
 func (m *MCNode) Busy() bool {
 	return m.inQ.Len() > 0 || m.hitQ.Len() > 0 || m.replyQ.Len() > 0 ||

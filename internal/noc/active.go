@@ -27,6 +27,16 @@ func (s *activeSet) clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
 // has reports whether index i is active.
 func (s *activeSet) has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// isEmpty reports whether no index is active.
+func (s *activeSet) isEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // count returns the number of active indices (diagnostics only).
 func (s *activeSet) count() int {
 	total := 0

@@ -149,6 +149,23 @@ func (d *Double) Health() error {
 	return nil
 }
 
+// NextWorkCycle returns the earlier of the two slices' horizons; the
+// slices tick in lockstep so their cycle counters agree.
+func (d *Double) NextWorkCycle() uint64 {
+	a, b := d.nets[0].NextWorkCycle(), d.nets[1].NextWorkCycle()
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// SkipAhead credits k idle ticks to both slices (serially, matching the
+// epilogue order of Tick).
+func (d *Double) SkipAhead(k uint64) {
+	d.nets[0].SkipAhead(k)
+	d.nets[1].SkipAhead(k)
+}
+
 // Stats merges both slices' counters into a fresh snapshot.
 func (d *Double) Stats() *NetStats {
 	a, b := d.nets[0].Stats(), d.nets[1].Stats()

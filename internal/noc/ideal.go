@@ -129,3 +129,30 @@ func (n *Ideal) Stats() *NetStats { return &n.stats }
 // Health always reports sound: the ideal network models no faults and
 // cannot deadlock.
 func (n *Ideal) Health() error { return nil }
+
+// NextWorkCycle reports work on the very next tick while packets are
+// pending (the budget replenishes and deliveries drain), and NeverCycle
+// once the queue is empty.
+func (n *Ideal) NextWorkCycle() uint64 {
+	if n.pending.Len() > 0 {
+		return n.cycle + 1
+	}
+	return NeverCycle
+}
+
+// SkipAhead credits k idle ticks: cycle counters advance and the budget
+// replays its per-tick replenish-and-clamp, which reaches the cap fixed
+// point after at most one tick and then stops.
+func (n *Ideal) SkipAhead(k uint64) {
+	n.cycle += k
+	n.stats.Cycles += k
+	if n.cap > 0 {
+		for ; k > 0; k-- {
+			n.budget += n.cap
+			if n.budget > n.cap {
+				n.budget = n.cap
+				break
+			}
+		}
+	}
+}

@@ -37,7 +37,23 @@ type Network interface {
 	// Health returns nil while the network is sound, or a sticky
 	// *fault.HangError once the deadlock/livelock/invariant monitors trip.
 	Health() error
+	// NextWorkCycle returns a conservative bound on the next cycle count
+	// at which Tick would do anything beyond the deterministic idle-tick
+	// credits SkipAhead replays, or NeverCycle when only an injection can
+	// create work. "Conservative" means it may name an earlier cycle than
+	// the real one (forcing a harmless edge-by-edge tick) but never a
+	// later one.
+	NextWorkCycle() uint64
+	// SkipAhead credits k consecutive idle ticks in O(1), bit-identical
+	// to calling Tick k times under NextWorkCycle's guarantee. Callers
+	// must not skip at or past the cycle NextWorkCycle returned and must
+	// recompute the horizon after any injection.
+	SkipAhead(k uint64)
 }
+
+// NeverCycle is the NextWorkCycle sentinel for "idle until an external
+// event (an injection) creates work".
+const NeverCycle = ^uint64(0)
 
 // NetStats aggregates network activity.
 type NetStats struct {
@@ -468,4 +484,66 @@ func (n *meshNet) tickAsync() {
 func (n *meshNet) tickJoin() {
 	n.tickWG.Wait()
 	n.epilogue()
+}
+
+// NextWorkCycle scans the per-shard work lists for the earliest cycle with
+// real work: any queued injection, busy router, pending ejection or parked
+// boundary event means the very next tick works; otherwise the earliest
+// due channel/credit event (flit-channel dues are monotonic so the front
+// is the minimum; resync-delayed credits are not, so credit queues scan in
+// full). Fault injection draws its RNG every cycle and a tripped monitor
+// must keep reporting, so both force edge-by-edge ticking. With an armed
+// deadlock watchdog and work in flight, the horizon also never passes the
+// cycle the watchdog would trip, so a wedged network is detected on
+// exactly the same cycle as when stepping.
+func (n *meshNet) NextWorkCycle() uint64 {
+	if n.fs != nil || n.health != nil {
+		return n.cycle + 1
+	}
+	next := NeverCycle
+	for _, sh := range n.shards {
+		if !sh.injActive.isEmpty() || !sh.rtrActive.isEmpty() || !sh.ejActive.isEmpty() ||
+			sh.outFlit.Len() > 0 || sh.outCred.Len() > 0 {
+			return n.cycle + 1
+		}
+		sh.flitActive.forEach(func(i int) {
+			if q := &n.flitChans[i].q; q.Len() > 0 {
+				if d := q.Front().due; d < next {
+					next = d
+				}
+			}
+		})
+		sh.credActive.forEach(func(i int) {
+			q := &n.credChans[i].q
+			for j := 0; j < q.Len(); j++ {
+				if d := q.At(j).due; d < next {
+					next = d
+				}
+			}
+		})
+	}
+	if n.wd != nil && n.inFlightTotal() > 0 {
+		// observeHealth ran at the last cycle boundary, so the watchdog is
+		// synced and an un-tripped monitor means lastMove+Window is still
+		// ahead of the current cycle.
+		if trip := n.wd.LastMovement() + n.wd.Window; trip < next {
+			next = trip
+		}
+	}
+	if next <= n.cycle {
+		next = n.cycle + 1
+	}
+	return next
+}
+
+// SkipAhead credits k idle ticks: with no due events and no active
+// components, a tick is exactly cycle/stat increments plus the end-of-
+// cycle health observation, which is replayed once at the landing cycle
+// (the intermediate observations are no-ops: an idle network resets the
+// watchdog's movement mark, which the final observation reproduces, and
+// the conservation audit is pure on a consistent network).
+func (n *meshNet) SkipAhead(k uint64) {
+	n.cycle += k
+	n.stats.Cycles += k
+	n.observeHealth()
 }

@@ -154,7 +154,9 @@ func NextHopPort(t *Topology, cur NodeID, p *Packet) (out Port, eject bool) {
 // nextHop performs per-hop route computation at router cur for packet p,
 // returning either a direction port or eject=true. It consumes the packet's
 // phase state: reaching the intermediate node switches a case-2 packet from
-// its YX phase to the final XY phase.
+// its YX phase to the final XY phase. The directional decision itself is a
+// single load from the topology's precomputed per-phase route tables
+// (cur != target always holds by the time the table is consulted).
 func nextHop(t *Topology, cur NodeID, p *Packet) (out Port, eject bool) {
 	if cur == p.Dst {
 		return 0, true
@@ -167,17 +169,11 @@ func nextHop(t *Topology, cur NodeID, p *Packet) (out Port, eject bool) {
 	if p.Intermediate >= 0 {
 		target = p.Intermediate
 	}
-	cc, ct := t.Coord(cur), t.Coord(target)
+	phase := 0
 	if p.YXPhase {
-		if cc.Y != ct.Y {
-			return vertical(cc, ct), false
-		}
-		return horizontal(cc, ct), false
+		phase = 1
 	}
-	if cc.X != ct.X {
-		return horizontal(cc, ct), false
-	}
-	return vertical(cc, ct), false
+	return Port(t.routes[phase][int(cur)*t.Width*t.Height+int(target)]), false
 }
 
 func horizontal(from, to Coord) Port {

@@ -54,7 +54,18 @@ type Topology struct {
 	checkerboard  bool
 	mcs           map[NodeID]bool
 	mcList        []NodeID
+	// routes holds the precomputed per-hop route tables, one per routing
+	// phase (0 = XY, 1 = YX), indexed cur×numNodes+target. Route planning
+	// (planRoute) decides the phase and intermediate once at injection;
+	// every subsequent hop is a single table load. Entries with
+	// cur == target are never consulted (routers eject, or retarget, first)
+	// and hold routeUnreachable.
+	routes [2][]uint8
 }
+
+// routeUnreachable marks route-table entries that per-hop routing never
+// consults (cur == target).
+const routeUnreachable = uint8(numDirs)
 
 // NewTopology builds a W×H mesh. When checkerboard is true, odd-parity
 // tiles ((x+y) odd) hold half-routers; mcs lists the tiles hosting memory
@@ -78,7 +89,43 @@ func NewTopology(width, height int, checkerboard bool, mcs []NodeID) (*Topology,
 		t.mcs[mc] = true
 		t.mcList = append(t.mcList, mc)
 	}
+	t.buildRoutes()
 	return t, nil
+}
+
+// buildRoutes precomputes the per-phase next-hop tables. Both phases are
+// pure functions of (cur, target) — XY moves horizontally until the column
+// matches, YX vertically until the row matches — so the per-flit case
+// analysis collapses to one array load at simulation time.
+func (t *Topology) buildRoutes() {
+	n := t.NumNodes()
+	for phase := range t.routes {
+		tab := make([]uint8, n*n)
+		for cur := 0; cur < n; cur++ {
+			cc := t.Coord(NodeID(cur))
+			for target := 0; target < n; target++ {
+				p := routeUnreachable
+				if cur != target {
+					ct := t.Coord(NodeID(target))
+					if phase == 1 { // YX: vertical first
+						if cc.Y != ct.Y {
+							p = uint8(vertical(cc, ct))
+						} else {
+							p = uint8(horizontal(cc, ct))
+						}
+					} else { // XY: horizontal first
+						if cc.X != ct.X {
+							p = uint8(horizontal(cc, ct))
+						} else {
+							p = uint8(vertical(cc, ct))
+						}
+					}
+				}
+				tab[cur*n+target] = p
+			}
+		}
+		t.routes[phase] = tab
+	}
 }
 
 // MustNewTopology is NewTopology but panics on error.

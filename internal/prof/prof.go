@@ -24,9 +24,17 @@ type Flags struct {
 // AddFlags registers -cpuprofile and -memprofile on the default flag set.
 // Call before flag.Parse.
 func AddFlags() *Flags {
+	return AddFlagsTo(flag.CommandLine)
+}
+
+// AddFlagsTo registers -cpuprofile and -memprofile on fs. Call before the
+// set is parsed. Split out from AddFlags so tests (and embedders with their
+// own flag sets) can exercise the profile lifecycle without mutating the
+// process-wide default set.
+func AddFlagsTo(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
-		mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file at exit"),
 	}
 }
 

@@ -1,0 +1,45 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// TestOpenLoopIdleSkipEquivalence proves the drain-phase fast-forward is
+// invisible: every open-loop golden point must digest identically with
+// skipping enabled (the default) and disabled, at every shard count.
+func TestOpenLoopIdleSkipEquivalence(t *testing.T) {
+	for _, og := range openMatrix() {
+		og := og
+		for _, shards := range []int{1, 2, 4} {
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards-%d", og.id, shards), func(t *testing.T) {
+				run := func(noSkip bool) string {
+					var last noc.Network
+					runner := NewRunner(func() (noc.Network, *noc.Topology) {
+						mc := og.mesh()
+						mc.Shards = shards
+						m := noc.MustNewMesh(mc)
+						last = m
+						return m, m.Topology()
+					})
+					cfg := DefaultConfig()
+					cfg.Pattern = og.pattern
+					cfg.InjectionRate = og.rate
+					cfg.WarmupCycles = 500
+					cfg.MeasureCycles = 2000
+					cfg.DrainCycles = 4000
+					cfg.NoIdleSkip = noSkip
+					res := runner.Run(cfg)
+					return digestOpenLoop(res, last.Stats())
+				}
+				on, off := run(false), run(true)
+				if on != off {
+					t.Errorf("digest differs with drain skipping: %s vs %s", on, off)
+				}
+			})
+		}
+	}
+}

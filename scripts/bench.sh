@@ -22,8 +22,11 @@ OUT="${2:-BENCH_$(date +%F).json}"
 	# Cycle-kernel microbenchmarks: fixed iteration count so allocs/op and
 	# hops/cycle are comparable across captures. The sharded-kernel rows
 	# (…-s1/-s2/-s4) additionally get a derived speedup_vs_s1 metric from
-	# cmd/benchjson; on low-core hosts it honestly records overhead (<1).
+	# cmd/benchjson (suppressed on single-core hosts, where the ratio would
+	# only measure coordination overhead).
 	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel' -benchmem -benchtime 2000x ./internal/noc/
-	# Class-representative figure benchmarks (hm_speedup metrics et al).
-	go test -run '^$' -bench 'Fig|Table|Headline' -benchmem -benchtime 1x .
+	# Class-representative figure benchmarks (hm_speedup metrics et al) and
+	# the idle-horizon fast-forward pairs, whose skip rows get a derived
+	# speedup_vs_noskip metric from cmd/benchjson.
+	go test -run '^$' -bench 'Fig|Table|Headline|IdleSkip' -benchmem -benchtime 1x .
 } 2>&1 | go run ./cmd/benchjson -label "$LABEL" -out "$OUT"
