@@ -166,3 +166,67 @@ func TestTransientOutcomesNotJournaled(t *testing.T) {
 		t.Errorf("timeout outcome journaled: %+v", recs)
 	}
 }
+
+// TestLoadJournalTruncatedFinalLine covers the canonical crash wound in
+// isolation: a journal whose final record was torn mid-write (no garbage
+// lines, no trailing newline). Every intact record loads, the torn line is
+// counted exactly once for the caller's warning, and reopening the journal
+// seals the tear so the next record starts cleanly.
+func TestLoadJournalTruncatedFinalLine(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"A|MUM|s1|i10", "B|MUM|s1|i10"} {
+		if err := j.Append(Record{Key: key, Attempts: 1, Result: core.Result{Status: "ok", IPC: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the last record the way kill -9 during write(2) would: keep a
+	// prefix of its JSON with no newline.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"C|MUM|s1|i10","attempts":1,"result":{"IPC":`)
+	f.Close()
+
+	recs, skipped, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "A|MUM|s1|i10" || recs[1].Key != "B|MUM|s1|i10" {
+		t.Fatalf("records after torn final line: %+v, want the two intact ones", recs)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the torn final line)", skipped)
+	}
+
+	// Reopen-and-append must seal the tear: the new record lands on its
+	// own line and both it and the intact prefix survive a second load.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Key: "D|MUM|s1|i10", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, skipped, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Key != "D|MUM|s1|i10" || skipped != 1 {
+		t.Fatalf("after sealing: recs=%+v skipped=%d, want 3 records and 1 skip", recs, skipped)
+	}
+	if len(full) == 0 {
+		t.Fatal("journal unexpectedly empty before the tear")
+	}
+}

@@ -58,9 +58,20 @@ type Options struct {
 	// keys or checkpoint identity.
 	Shards int
 	// Backoff is the base delay before the first retry; successive
-	// retries double it, each with ±50% deterministic jitter. 0 means
-	// DefaultBackoff.
+	// retries double it (capped by MaxBackoff), each with ±50%
+	// deterministic jitter. 0 means DefaultBackoff.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth of retry delays before
+	// jitter is applied, so a long retry budget cannot stretch a single
+	// wait into minutes. 0 means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Lookup, when non-nil, is consulted on every cache miss before a
+	// run executes: an external content-addressed result store (the
+	// service daemon's journal-backed store). A hit whose Key matches is
+	// cached and returned as a Resumed outcome without executing. Called
+	// with the pool lock held; it must be fast and must not call back
+	// into the pool.
+	Lookup func(key string) (Record, bool)
 	// Checkpoint, when non-empty, is the JSONL journal path; every
 	// finished run is appended and fsynced so a killed sweep loses at
 	// most the runs still in flight.
@@ -78,6 +89,9 @@ type Options struct {
 
 // DefaultBackoff is the base retry delay when Options.Backoff is zero.
 const DefaultBackoff = 250 * time.Millisecond
+
+// DefaultMaxBackoff is the retry-delay cap when Options.MaxBackoff is zero.
+const DefaultMaxBackoff = 15 * time.Second
 
 // Outcome is the terminal state of one run request.
 type Outcome struct {
@@ -103,12 +117,49 @@ type Outcome struct {
 // OK reports whether the run completed without a degradation verdict.
 func (o Outcome) OK() bool { return o.Result.OK() }
 
+// retryableStatus classifies every verdict in the Result.Status
+// vocabulary. Transient verdicts are worth another attempt: a wall-clock
+// timeout is host scheduling, not simulated behaviour, and fault injection
+// can make system stalls load-dependent. Deterministic verdicts —
+// deadlock, livelock, cycle-cap, invariant, panic, an invalid
+// configuration — always reproduce, so retrying them only wastes the
+// sweep's time, and "canceled" means the harness itself is shutting down.
+// A status outside the table (a future verdict, or an error message
+// promoted into Status) is terminal until someone classifies it here;
+// TestRetryableClassification pins the full table.
+var retryableStatus = map[string]bool{
+	"stall":   true,
+	"timeout": true,
+
+	"ok":        false,
+	"deadlock":  false,
+	"livelock":  false,
+	"cycle-cap": false,
+	"invariant": false,
+	"panic":     false,
+	"canceled":  false,
+	"error":     false,
+}
+
 // Retryable reports whether a status is a transient verdict worth another
-// attempt: a wall-clock timeout (host scheduling, not simulated behaviour)
-// or a system stall (which fault injection can make load-dependent).
-// Deterministic verdicts — deadlock, livelock, cycle-cap, invariant,
-// panic — always reproduce, so retrying them only wastes the sweep's time.
-func Retryable(status string) bool { return status == "stall" || status == "timeout" }
+// attempt; see retryableStatus for the classification table.
+func Retryable(status string) bool { return retryableStatus[status] }
+
+// backoffDelay returns the jittered delay before retry number retry
+// (1-based): base doubled per retry, capped at max before ±50% jitter, so
+// the result always lies in [cap/2, 3·cap/2] where cap = min(base<<(retry-1),
+// max). The doubling loop (rather than a shift) cannot overflow however
+// large the retry budget is.
+func backoffDelay(base, max time.Duration, retry int, jitter *xrand.Rand) time.Duration {
+	d := base
+	for i := 1; i < retry && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + jitter.Float64()))
+}
 
 // CapShards bounds one run's intra-run shard request so that jobs
 // concurrent runs never oversubscribe the machine: every run gets at most
@@ -154,7 +205,7 @@ type Pool struct {
 
 	mu         sync.Mutex
 	cache      map[string]Outcome
-	inflight   map[string]chan struct{}
+	inflight   map[string]*flight
 	executed   int
 	skipped    int // corrupt journal lines ignored during resume
 	journal    *Journal
@@ -176,6 +227,12 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = DefaultBackoff
 	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	if opts.MaxBackoff < opts.Backoff {
+		opts.MaxBackoff = opts.Backoff
+	}
 	if opts.Retries < 0 {
 		return nil, fmt.Errorf("runner: Retries must be >= 0, got %d", opts.Retries)
 	}
@@ -185,7 +242,7 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 		run:      opts.Run,
 		sem:      make(chan struct{}, opts.Jobs),
 		cache:    make(map[string]Outcome),
-		inflight: make(map[string]chan struct{}),
+		inflight: make(map[string]*flight),
 	}
 	if p.run == nil {
 		p.run = core.Run
@@ -215,38 +272,106 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 	return p, nil
 }
 
+// flight is one in-progress execution and the callers awaiting it.
+// waiters counts the contexts still interested in the outcome; when the
+// last waiter abandons (its context died), the run itself is cancelled.
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+}
+
+// abandon withdraws one caller's stake in a flight, cancelling the run
+// when nobody is left to receive the outcome.
+func (p *Pool) abandon(fl *flight) {
+	p.mu.Lock()
+	fl.waiters--
+	if fl.waiters <= 0 {
+		fl.cancel()
+	}
+	p.mu.Unlock()
+}
+
 // Do executes (or recalls) one run. It blocks until the outcome is
 // terminal; duplicate concurrent requests for the same key share a single
 // execution.
 func (p *Pool) Do(cfg core.Config) Outcome {
+	return p.DoContext(context.Background(), cfg)
+}
+
+// DoContext is Do bounded by a per-call context — the service daemon's
+// end-to-end request deadline. The run executes under the pool context as
+// before, but every concurrent caller for the key holds a stake in it:
+// when ctx dies the caller gets a "canceled" outcome immediately, and when
+// the last interested caller is gone the in-flight run itself is cancelled
+// (a disconnected client must not keep burning a worker).
+//
+// An outcome forced by per-call cancellation ("canceled"/"timeout" with
+// the run context dead while the pool is still alive) is transient: it is
+// returned to the caller but neither cached, journaled nor counted as
+// executed, so a later request re-executes the run. Pool-context
+// cancellation (harness shutdown) keeps the historical behaviour: the
+// canceled outcome is cached so sweep summaries can render it.
+func (p *Pool) DoContext(ctx context.Context, cfg core.Config) Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := Key(cfg)
 	for {
+		if ctx.Err() != nil {
+			return canceledOutcome(cfg, key, 0, ctx.Err())
+		}
 		p.mu.Lock()
 		if out, ok := p.cache[key]; ok {
 			p.mu.Unlock()
 			out.Cached = true
 			return out
 		}
-		if wait, ok := p.inflight[key]; ok {
-			p.mu.Unlock()
-			<-wait
-			continue // the winner has populated the cache
+		if p.opts.Lookup != nil {
+			if rec, ok := p.opts.Lookup(key); ok && rec.Key == key {
+				out := Outcome{Key: key, Result: rec.Result, Attempts: rec.Attempts, Resumed: true}
+				p.cache[key] = out
+				p.mu.Unlock()
+				return out
+			}
 		}
-		wait := make(chan struct{})
-		p.inflight[key] = wait
+		if fl, ok := p.inflight[key]; ok {
+			fl.waiters++
+			p.mu.Unlock()
+			select {
+			case <-fl.done:
+				continue // the winner has populated the cache (or left a transient gap)
+			case <-ctx.Done():
+				p.abandon(fl)
+				return canceledOutcome(cfg, key, 0, ctx.Err())
+			}
+		}
+		runCtx, cancel := context.WithCancel(p.ctx)
+		fl := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		p.inflight[key] = fl
 		p.mu.Unlock()
 
-		out := p.acquireAndRun(cfg, key)
+		// The winner's own context dying abandons its stake like any
+		// other waiter's; the run is cancelled only when no caller
+		// remains interested.
+		stop := context.AfterFunc(ctx, func() { p.abandon(fl) })
+		out := p.acquireAndRun(runCtx, cfg, key)
+		transient := (out.Result.Status == "canceled" || out.Result.Status == "timeout") &&
+			runCtx.Err() != nil && p.ctx.Err() == nil
+		stop()
+		cancel()
 
 		p.mu.Lock()
-		p.cache[key] = out
+		if !transient {
+			p.cache[key] = out
+		}
 		delete(p.inflight, key)
-		if !out.Cached && !out.Resumed {
+		if !out.Cached && !out.Resumed && !transient {
 			p.executed++
 			p.appendJournalLocked(out)
 		}
 		p.mu.Unlock()
-		close(wait)
+		close(fl.done)
 
 		if p.opts.OnDone != nil {
 			p.cbMu.Lock()
@@ -275,16 +400,18 @@ func (p *Pool) DoAll(cfgs []core.Config) []Outcome {
 	return outs
 }
 
-// acquireAndRun takes a worker slot and executes the retry loop.
-func (p *Pool) acquireAndRun(cfg core.Config, key string) Outcome {
+// acquireAndRun takes a worker slot and executes the retry loop under ctx
+// (the flight's run context: the pool context narrowed by per-call
+// cancellation).
+func (p *Pool) acquireAndRun(ctx context.Context, cfg core.Config, key string) Outcome {
 	select {
 	case p.sem <- struct{}{}:
 		defer func() { <-p.sem }()
-	case <-p.ctx.Done():
-		return p.canceledOutcome(cfg, key, 0)
+	case <-ctx.Done():
+		return canceledOutcome(cfg, key, 0, ctx.Err())
 	}
-	if p.ctx.Err() != nil {
-		return p.canceledOutcome(cfg, key, 0)
+	if ctx.Err() != nil {
+		return canceledOutcome(cfg, key, 0, ctx.Err())
 	}
 
 	maxAttempts := 1 + p.opts.Retries
@@ -293,16 +420,15 @@ func (p *Pool) acquireAndRun(cfg core.Config, key string) Outcome {
 	jitter := xrand.New(hashKey(key) ^ 0x6a6974746572) // "jitter"
 	var out Outcome
 	for attempt := 1; ; attempt++ {
-		res, err, stack := p.runOnce(cfg)
+		res, err, stack := p.runOnce(ctx, cfg)
 		out = Outcome{Key: key, Result: res, Attempts: attempt, Err: err, Stack: stack}
-		if res.OK() || !Retryable(res.Status) || attempt >= maxAttempts || p.ctx.Err() != nil {
+		if res.OK() || !Retryable(res.Status) || attempt >= maxAttempts || ctx.Err() != nil {
 			return out
 		}
-		delay := p.opts.Backoff << (attempt - 1)
-		delay = time.Duration(float64(delay) * (0.5 + jitter.Float64()))
+		delay := backoffDelay(p.opts.Backoff, p.opts.MaxBackoff, attempt, jitter)
 		select {
 		case <-time.After(delay):
-		case <-p.ctx.Done():
+		case <-ctx.Done():
 			return out
 		}
 	}
@@ -312,8 +438,7 @@ func (p *Pool) acquireAndRun(cfg core.Config, key string) Outcome {
 // isolation. A panic becomes a "panic" DNF with the stack attached; an
 // error outside the typed vocabulary (e.g. an invalid configuration)
 // becomes a DNF whose Status carries the message.
-func (p *Pool) runOnce(cfg core.Config) (res core.Result, err error, stack string) {
-	ctx := p.ctx
+func (p *Pool) runOnce(ctx context.Context, cfg core.Config) (res core.Result, err error, stack string) {
 	if p.opts.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.opts.RunTimeout)
@@ -343,7 +468,7 @@ func (p *Pool) runOnce(cfg core.Config) (res core.Result, err error, stack strin
 	return res, err, ""
 }
 
-func (p *Pool) canceledOutcome(cfg core.Config, key string, attempts int) Outcome {
+func canceledOutcome(cfg core.Config, key string, attempts int, err error) Outcome {
 	if attempts == 0 {
 		attempts = 1
 	}
@@ -351,7 +476,7 @@ func (p *Pool) canceledOutcome(cfg core.Config, key string, attempts int) Outcom
 		Key:      key,
 		Result:   core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "canceled"},
 		Attempts: attempts,
-		Err:      p.ctx.Err(),
+		Err:      err,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/workload"
+	"repro/internal/xrand"
 )
 
 // testCfg builds a distinct config without needing a real simulation.
@@ -327,5 +328,190 @@ func TestPoolDefaultShards(t *testing.T) {
 	}
 	if got, _ := seen.Load("explicit"); got.(int) != 1 {
 		t.Errorf("explicit config ran with %v shards, want its own 1", got)
+	}
+}
+
+// TestRetryableClassification pins the full verdict table: transient
+// verdicts retry, deterministic ones are terminal, and an unknown status
+// (a future verdict nobody classified yet) defaults to terminal.
+func TestRetryableClassification(t *testing.T) {
+	cases := map[string]bool{
+		"stall":   true,
+		"timeout": true,
+
+		"ok":        false,
+		"deadlock":  false,
+		"livelock":  false,
+		"cycle-cap": false,
+		"invariant": false,
+		"panic":     false,
+		"canceled":  false,
+		"error":     false,
+
+		// Outside the vocabulary: an invalid-config message promoted
+		// into Status, and a verdict that does not exist yet.
+		"core: configuration has no memory controllers": false,
+		"some-future-verdict":                           false,
+		"":                                              false,
+	}
+	for status, want := range cases {
+		if got := Retryable(status); got != want {
+			t.Errorf("Retryable(%q) = %v, want %v", status, got, want)
+		}
+	}
+}
+
+// TestBackoffDelayBounds asserts the jitter and cap contract: every delay
+// lies in [cap/2, 3*cap/2] where cap = min(base<<(retry-1), max), and huge
+// retry budgets can neither overflow nor exceed the cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 160 * time.Millisecond
+	jitter := xrand.New(42)
+	for retry := 1; retry <= 200; retry++ {
+		exp := base
+		for i := 1; i < retry && exp < max; i++ {
+			exp <<= 1
+		}
+		if exp > max {
+			exp = max
+		}
+		d := backoffDelay(base, max, retry, jitter)
+		if d < exp/2 || d > exp+exp/2 {
+			t.Fatalf("retry %d: delay %v outside [%v, %v]", retry, d, exp/2, exp+exp/2)
+		}
+		if d < 0 || d > max+max/2 {
+			t.Fatalf("retry %d: delay %v breaches the cap %v (overflow?)", retry, d, max+max/2)
+		}
+	}
+	// Uncapped growth for the first few retries: retry 3 must be able to
+	// exceed retry 1's ceiling, or the backoff is not exponential at all.
+	saw := false
+	for i := 0; i < 64; i++ {
+		if backoffDelay(base, max, 3, jitter) > 3*base/2 {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Error("retry 3 never exceeded retry 1's jitter ceiling; backoff not growing")
+	}
+}
+
+// TestDoContextClientDisconnect is the service-daemon contract: cancelling
+// the per-call context aborts the in-flight run (no other caller is
+// interested), the caller gets a transient "canceled" outcome, and a later
+// request re-executes the run instead of being served the stale verdict.
+func TestDoContextClientDisconnect(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	p := newPool(t, Options{Jobs: 2, Run: func(ctx context.Context, cfg core.Config) (core.Result, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			started <- struct{}{}
+			<-ctx.Done() // simulate core.Run honouring cancellation
+			return core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "canceled"}, ctx.Err()
+		}
+		return okRun(ctx, cfg)
+	}})
+	cfg := testCfg(t, "disconnect")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	outCh := make(chan Outcome, 1)
+	go func() { outCh <- p.DoContext(ctx, cfg) }()
+	<-started
+	cancel() // the only client walks away
+	out := <-outCh
+	if out.Result.Status != "canceled" {
+		t.Fatalf("disconnected call: status %q, want canceled", out.Result.Status)
+	}
+
+	// The canceled verdict must not poison the cache: a fresh request
+	// re-executes and completes.
+	out = p.Do(cfg)
+	if out.Cached || !out.OK() {
+		t.Fatalf("re-request after disconnect: cached=%v status=%q, want fresh ok run",
+			out.Cached, out.Result.Status)
+	}
+	if p.Executed() != 1 {
+		t.Errorf("Executed() = %d, want 1 (the abandoned run is not a completed simulation)", p.Executed())
+	}
+}
+
+// TestDoContextSharedRunSurvivesOneDisconnect: two callers share one
+// flight; the first disconnecting must not cancel the run the second is
+// still waiting for.
+func TestDoContextSharedRunSurvivesOneDisconnect(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	p := newPool(t, Options{Jobs: 2, Run: func(ctx context.Context, cfg core.Config) (core.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return okRun(ctx, cfg)
+		case <-ctx.Done():
+			return core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "canceled"}, ctx.Err()
+		}
+	}})
+	cfg := testCfg(t, "shared")
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	out1 := make(chan Outcome, 1)
+	go func() { out1 <- p.DoContext(ctx1, cfg) }()
+	<-started
+
+	out2 := make(chan Outcome, 1)
+	go func() { out2 <- p.DoContext(context.Background(), cfg) }()
+	// Give the second caller time to join the flight, then drop the first.
+	time.Sleep(10 * time.Millisecond)
+	cancel1()
+	select {
+	case o := <-out2:
+		t.Fatalf("second caller returned %q before the run was released", o.Result.Status)
+	case <-time.After(20 * time.Millisecond):
+		// Still waiting: the run survived the first disconnect.
+	}
+	close(release)
+	if o := <-out2; !o.OK() {
+		t.Fatalf("surviving caller: status %q, want ok", o.Result.Status)
+	}
+	<-out1
+}
+
+// TestLookupHookServesExternalStore: a cache miss consults the external
+// content-addressed store before executing anything.
+func TestLookupHookServesExternalStore(t *testing.T) {
+	cfg := testCfg(t, "stored")
+	key := Key(cfg)
+	var calls atomic.Int64
+	p := newPool(t, Options{
+		Jobs: 2,
+		Run: func(ctx context.Context, c core.Config) (core.Result, error) {
+			calls.Add(1)
+			return okRun(ctx, c)
+		},
+		Lookup: func(k string) (Record, bool) {
+			if k == key {
+				return Record{Key: k, Attempts: 2,
+					Result: core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "ok", IPC: 7}}, true
+			}
+			return Record{}, false
+		},
+	})
+	out := p.Do(cfg)
+	if !out.Resumed || out.Result.IPC != 7 || out.Attempts != 2 {
+		t.Fatalf("store hit not honoured: %+v", out)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("run executed %d times despite store hit", calls.Load())
+	}
+	// Misses still execute.
+	other := testCfg(t, "fresh")
+	if out := p.Do(other); out.Resumed || !out.OK() {
+		t.Fatalf("store miss mishandled: %+v", out)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("store miss executed %d times, want 1", calls.Load())
 	}
 }

@@ -1,0 +1,52 @@
+package service
+
+import "sync/atomic"
+
+// Admission is the daemon's bounded admission queue, the service-layer
+// analogue of credit-based backpressure: a job occupies one slot from
+// acceptance until completion, and when every slot is taken new work is
+// shed with 429 + Retry-After instead of queueing without bound. All
+// state is atomic so the health endpoints can read it without taking any
+// lock a saturated queue could be holding.
+type Admission struct {
+	capacity int64
+	inUse    atomic.Int64
+	shed     atomic.Uint64
+}
+
+// NewAdmission builds a queue with the given capacity (minimum 1).
+func NewAdmission(capacity int) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Admission{capacity: int64(capacity)}
+}
+
+// TryAcquire claims a slot, or records a shed and refuses.
+func (a *Admission) TryAcquire() bool {
+	for {
+		n := a.inUse.Load()
+		if n >= a.capacity {
+			a.shed.Add(1)
+			return false
+		}
+		if a.inUse.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release returns a slot.
+func (a *Admission) Release() { a.inUse.Add(-1) }
+
+// InUse returns the number of admitted, unfinished jobs.
+func (a *Admission) InUse() int { return int(a.inUse.Load()) }
+
+// Cap returns the queue capacity.
+func (a *Admission) Cap() int { return int(a.capacity) }
+
+// Saturated reports whether the queue is full right now.
+func (a *Admission) Saturated() bool { return a.inUse.Load() >= a.capacity }
+
+// Shed returns how many submissions have been refused for lack of a slot.
+func (a *Admission) Shed() uint64 { return a.shed.Load() }

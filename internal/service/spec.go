@@ -1,0 +1,186 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// HTTP/JSON daemon (cmd/tesimd) that accepts simulation and sweep
+// requests, executes them on the resilient runner pool, and persists
+// completed runs in a content-addressed result store built on the
+// runner's fsynced checkpoint-journal format.
+//
+// The robustness surface is the point of the package:
+//
+//   - a bounded admission queue with load shedding: a full queue answers
+//     429 with Retry-After instead of queueing unboundedly;
+//   - per-request end-to-end deadlines propagated as contexts through
+//     runner.Pool.DoContext into core.Run, so a disconnected client or an
+//     expired deadline cancels in-flight simulation work;
+//   - a crash-safe result store: every completed run is appended and
+//     fsynced in the runner journal format, replayed on startup (torn
+//     lines tolerated and counted), so a kill -9 loses at most the runs
+//     still in flight and repeat queries are O(1) store hits;
+//   - graceful drain on SIGTERM/SIGINT: stop admitting, finish or
+//     checkpoint in-flight runs, fsync, exit 0 within a drain deadline;
+//   - /healthz and /readyz that degrade honestly: readiness goes false
+//     while draining or saturated, liveness never blocks on any lock.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// designPoints maps the named NoC design points of the paper's evaluation
+// to their Config builders. The names are the API vocabulary for
+// POST /v1/runs; GET /v1/configs lists them.
+var designPoints = map[string]func(workload.Profile) core.Config{
+	"TB-DOR":      core.Baseline,
+	"2x-TB-DOR":   func(p workload.Profile) core.Config { return core.Baseline(p).With2xBW() },
+	"TB-DOR-1cyc": func(p workload.Profile) core.Config { return core.Baseline(p).With1CycleRouters() },
+	"CP-DOR":      func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardPlacement() },
+	"CP-CR":       func(p workload.Profile) core.Config { return core.Baseline(p).WithCheckerboardRouting() },
+	"Double-CP-CR": func(p workload.Profile) core.Config {
+		return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork()
+	},
+	"Thr.Eff.":       core.ThroughputEffective,
+	"Thr.Eff.(1net)": core.ThroughputEffectiveSingle,
+	"Perfect":        core.Perfect,
+}
+
+// DesignPoints returns the accepted configuration names, sorted.
+func DesignPoints() []string {
+	names := make([]string, 0, len(designPoints))
+	for n := range designPoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spec is the canonical form of one submission: the simulation work a job
+// performs, stripped of transport options. Its JSON encoding is the
+// content the job ID addresses — two requests that normalize to the same
+// Spec are the same job, whatever order their lists arrived in.
+type Spec struct {
+	// Configs are design-point names (see DesignPoints).
+	Configs []string `json:"configs"`
+	// Benchmarks are Table I abbreviations (AES, MUM, ...).
+	Benchmarks []string `json:"benchmarks"`
+	// Seed is the traffic seed; 0 normalizes to 1.
+	Seed uint64 `json:"seed"`
+	// Scale multiplies the kernel length in (0, 1]; 0 normalizes to 1.
+	Scale float64 `json:"scale"`
+	// FaultRate enables the network fault injector when positive.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultSeed seeds the injector (only meaningful with FaultRate > 0).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+}
+
+// Request is the POST /v1/runs body: a Spec plus per-request transport
+// options that deliberately do not participate in content addressing.
+type Request struct {
+	Spec
+	// Wait makes the POST synchronous: the response carries the final
+	// result, and the job is cancelled if every waiting client
+	// disconnects before it finishes.
+	Wait bool `json:"wait,omitempty"`
+	// DeadlineMS bounds the job end to end in milliseconds; 0 uses the
+	// server default. Clamped to the server maximum.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Canonical normalizes and validates a Spec: lists sorted and
+// deduplicated, defaults filled, every name resolvable, and the run count
+// bounded by maxRuns so one request cannot occupy the whole daemon.
+func (s Spec) Canonical(maxRuns int) (Spec, error) {
+	out := s
+	out.Configs = sortedUnique(s.Configs)
+	out.Benchmarks = sortedUnique(s.Benchmarks)
+	if len(out.Configs) == 0 {
+		return Spec{}, fmt.Errorf("configs required (one of %v)", DesignPoints())
+	}
+	if len(out.Benchmarks) == 0 {
+		return Spec{}, fmt.Errorf("benchmarks required (Table I abbreviations, e.g. MUM)")
+	}
+	for _, name := range out.Configs {
+		if _, ok := designPoints[name]; !ok {
+			return Spec{}, fmt.Errorf("unknown config %q (want one of %v)", name, DesignPoints())
+		}
+	}
+	for _, abbr := range out.Benchmarks {
+		if _, err := workload.ByAbbr(abbr); err != nil {
+			return Spec{}, err
+		}
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Scale == 0 {
+		out.Scale = 1
+	}
+	if out.Scale < 0 || out.Scale > 1 {
+		return Spec{}, fmt.Errorf("scale %g out of (0, 1]", out.Scale)
+	}
+	if out.FaultRate < 0 || out.FaultRate > 1 {
+		return Spec{}, fmt.Errorf("fault_rate %g out of [0, 1]", out.FaultRate)
+	}
+	if runs := len(out.Configs) * len(out.Benchmarks); runs > maxRuns {
+		return Spec{}, fmt.Errorf("request is %d runs, server caps jobs at %d", runs, maxRuns)
+	}
+	return out, nil
+}
+
+// ID derives the content address of a canonical Spec: a stable hash of
+// its JSON encoding. Identical work always maps to the same job ID, which
+// is what lets a restarted daemon recognize a re-submitted sweep.
+func (s Spec) ID() string {
+	b, err := json.Marshal(s)
+	if err != nil { // a Spec of strings and numbers cannot fail to encode
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return "r" + hex.EncodeToString(sum[:10])
+}
+
+// BuildConfigs expands a canonical Spec into its concrete run
+// configurations in deterministic (config, benchmark) order.
+func (s Spec) BuildConfigs() ([]core.Config, error) {
+	cfgs := make([]core.Config, 0, len(s.Configs)*len(s.Benchmarks))
+	for _, name := range s.Configs {
+		build := designPoints[name]
+		if build == nil {
+			return nil, fmt.Errorf("unknown config %q", name)
+		}
+		for _, abbr := range s.Benchmarks {
+			p, err := workload.ByAbbr(abbr)
+			if err != nil {
+				return nil, err
+			}
+			cfg := build(p)
+			if s.Scale != 1 {
+				cfg = cfg.ScaleWork(s.Scale)
+			}
+			if s.FaultRate > 0 {
+				cfg = cfg.WithFaults(s.FaultRate, s.FaultSeed)
+			}
+			cfg.Seed = s.Seed
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs, nil
+}
+
+func sortedUnique(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

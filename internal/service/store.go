@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// Store is the daemon's content-addressed result store: a map from
+// runner.Key run identity to the completed record, persisted in the
+// runner's JSONL checkpoint-journal format. Every Put is appended and
+// fsynced before it is acknowledged, so a kill -9 loses at most the runs
+// still in flight; OpenStore replays the journal (torn lines tolerated
+// and counted) so a restarted daemon serves completed runs in O(1)
+// without re-executing them.
+type Store struct {
+	mu      sync.RWMutex
+	results map[string]runner.Record
+	journal *runner.Journal
+	skipped int
+	path    string
+}
+
+// OpenStore replays and opens the journal at path. An empty path yields a
+// purely in-memory store (tests, ephemeral daemons); a missing file is a
+// fresh store, not an error.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{results: make(map[string]runner.Record), path: path}
+	if path == "" {
+		return s, nil
+	}
+	recs, skipped, err := runner.LoadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	s.skipped = skipped
+	for _, rec := range recs {
+		s.results[rec.Key] = rec
+	}
+	j, err := runner.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	return s, nil
+}
+
+// Get returns the stored record for a run key.
+func (s *Store) Get(key string) (runner.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.results[key]
+	return rec, ok
+}
+
+// Put persists one completed run. A record identical to the stored one is
+// a no-op, so re-executions of deterministic runs never grow the journal.
+// The journal write is fsynced before Put returns.
+func (s *Store) Put(rec runner.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.results[rec.Key]; ok && old == rec {
+		return nil
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(rec); err != nil {
+			return err
+		}
+	}
+	s.results[rec.Key] = rec
+	return nil
+}
+
+// Len returns how many completed runs the store holds.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.results)
+}
+
+// Skipped returns how many torn journal lines startup replay ignored.
+func (s *Store) Skipped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.skipped
+}
+
+// Path returns the journal path ("" for an in-memory store).
+func (s *Store) Path() string { return s.path }
+
+// Close closes the journal file; records already appended are durable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}

@@ -1,0 +1,155 @@
+package stats
+
+import "math"
+
+// LogHistogram is a fixed-bucket logarithmic histogram for streaming
+// tail-latency quantiles (p50/p99/p999). Buckets grow geometrically —
+// bucketsPerDecade buckets per factor of ten — so a single small array
+// covers microseconds to hours with bounded *relative* error: a quantile
+// estimate is always within one bucket ratio of the exact sorted-sample
+// quantile. Observing is O(1) with no allocation, which is what the
+// service daemon needs on its request path; the linear-bucket Histogram
+// above keeps absolute-error semantics for packet-latency distributions.
+//
+// The zero value is not usable; construct with NewLogHistogram. Methods
+// are not synchronized — wrap with a mutex for concurrent writers.
+type LogHistogram struct {
+	min      float64 // lower bound of bucket 1; bucket 0 holds (-inf, min]
+	logMin   float64
+	logRatio float64 // ln of the per-bucket growth ratio
+	counts   []uint64
+	n        uint64
+	sum      float64
+	minSeen  float64
+	maxSeen  float64
+}
+
+// NewLogHistogram builds a histogram spanning [min, max] with
+// bucketsPerDecade geometric buckets per factor of ten. Samples below min
+// clamp into the first bucket and samples above max into the last, so the
+// span should generously cover the plausible range (the daemon uses 1µs to
+// 1h for request latencies in seconds). Panics on a non-positive min,
+// max <= min, or a non-positive bucket density, mirroring NewHistogram.
+func NewLogHistogram(min, max float64, bucketsPerDecade int) *LogHistogram {
+	if min <= 0 || max <= min || bucketsPerDecade <= 0 {
+		panic("stats: log histogram needs 0 < min < max and positive buckets per decade")
+	}
+	ratio := math.Pow(10, 1/float64(bucketsPerDecade))
+	logRatio := math.Log(ratio)
+	n := 2 + int(math.Ceil(math.Log(max/min)/logRatio))
+	return &LogHistogram{
+		min:      min,
+		logMin:   math.Log(min),
+		logRatio: logRatio,
+		counts:   make([]uint64, n),
+	}
+}
+
+// bucket maps a sample to its bucket index, clamping at both ends.
+func (h *LogHistogram) bucket(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	i := 1 + int((math.Log(v)-h.logMin)/h.logRatio)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Observe records one sample.
+func (h *LogHistogram) Observe(v float64) {
+	if h.n == 0 || v < h.minSeen {
+		h.minSeen = v
+	}
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	h.n++
+	h.sum += v
+	h.counts[h.bucket(v)]++
+}
+
+// N returns the number of samples.
+func (h *LogHistogram) N() uint64 { return h.n }
+
+// Sum returns the running total.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest sample seen (exact, not bucketed).
+func (h *LogHistogram) Max() float64 { return h.maxSeen }
+
+// Quantile returns the p-quantile (p in [0,1]) as the geometric midpoint
+// of the bucket holding the rank-⌈p·n⌉ sample, clamped to the exact
+// [min, max] observed so degenerate cases (one sample, saturated clamp
+// buckets) stay honest. Relative error is bounded by the bucket ratio,
+// 10^(1/bucketsPerDecade). Returns 0 when empty.
+func (h *LogHistogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
+	var cum uint64
+	idx := len(h.counts) - 1
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			idx = i
+			break
+		}
+	}
+	var est float64
+	if idx == 0 {
+		est = h.min
+	} else {
+		// Geometric midpoint of [min·r^(idx-1), min·r^idx).
+		est = math.Exp(h.logMin + (float64(idx)-0.5)*h.logRatio)
+	}
+	if est < h.minSeen {
+		est = h.minSeen
+	}
+	if est > h.maxSeen {
+		est = h.maxSeen
+	}
+	return est
+}
+
+// Merge folds o's samples into h. Both histograms must share a shape
+// (same min and bucket density); panics otherwise, mirroring the
+// constructor's contract.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	if o == nil {
+		return
+	}
+	if h.min != o.min || h.logRatio != o.logRatio || len(h.counts) != len(o.counts) {
+		panic("stats: merging log histograms with different shapes")
+	}
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.minSeen < h.minSeen {
+		h.minSeen = o.minSeen
+	}
+	if o.maxSeen > h.maxSeen {
+		h.maxSeen = o.maxSeen
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+}

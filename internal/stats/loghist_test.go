@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// exactQuantile is the reference the histogram is tested against: the
+// rank-⌈p·n⌉ element of the sorted sample slice.
+func exactQuantile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestLogHistogramQuantilesVsSorted drives the histogram with a skewed
+// synthetic latency distribution and demands that p50/p99/p999 agree with
+// the exact sorted-slice quantiles within the documented relative-error
+// bound (one bucket ratio).
+func TestLogHistogramQuantilesVsSorted(t *testing.T) {
+	const perDecade = 16
+	ratio := math.Pow(10, 1.0/perDecade)
+	h := NewLogHistogram(1e-6, 3600, perDecade)
+
+	// Log-uniform base load across 100µs..100ms with a heavy tail up to
+	// ~10s: the shape tail-latency data actually has.
+	rng := xrand.New(7)
+	samples := make([]float64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		var v float64
+		if rng.Float64() < 0.01 {
+			v = 0.1 * math.Pow(100, rng.Float64()) // 100ms..10s tail
+		} else {
+			v = 1e-4 * math.Pow(1000, rng.Float64()) // 100µs..100ms body
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	if h.N() != uint64(len(samples)) {
+		t.Fatalf("N = %d, want %d", h.N(), len(samples))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	for _, p := range []float64{0.50, 0.90, 0.99, 0.999} {
+		got := h.Quantile(p)
+		want := exactQuantile(sorted, p)
+		if got < want/ratio || got > want*ratio {
+			t.Errorf("p%g: histogram %.6g vs exact %.6g exceeds one bucket ratio (%.4f)",
+				100*p, got, want, ratio)
+		}
+	}
+
+	// Mean and max are tracked exactly, not bucketed.
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if math.Abs(h.Mean()-sum/float64(len(samples))) > 1e-12*sum {
+		t.Errorf("Mean = %g, want %g", h.Mean(), sum/float64(len(samples)))
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("Max = %g, want %g", h.Max(), sorted[len(sorted)-1])
+	}
+}
+
+func TestLogHistogramEdgeCases(t *testing.T) {
+	h := NewLogHistogram(1e-3, 10, 8)
+	if h.Quantile(0.99) != 0 || h.N() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+
+	// One sample: every quantile is that sample (the clamp to the exact
+	// observed range makes this precise, not just within a bucket).
+	h.Observe(0.25)
+	for _, p := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(p); got != 0.25 {
+			t.Errorf("single sample: Quantile(%g) = %g, want 0.25", p, got)
+		}
+	}
+
+	// Below-min and above-max samples clamp but stay honest via the
+	// exact-range clamp.
+	lo := NewLogHistogram(1e-3, 10, 8)
+	lo.Observe(1e-9)
+	if got := lo.Quantile(0.5); got != 1e-9 {
+		t.Errorf("below-min sample: Quantile = %g, want 1e-9", got)
+	}
+	hi := NewLogHistogram(1e-3, 10, 8)
+	hi.Observe(1e6)
+	if got := hi.Quantile(0.5); got != 1e6 {
+		t.Errorf("above-max sample: Quantile = %g, want 1e6", got)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(1e-6, 3600, 16)
+	b := NewLogHistogram(1e-6, 3600, 16)
+	whole := NewLogHistogram(1e-6, 3600, 16)
+	rng := xrand.New(11)
+	for i := 0; i < 4000; i++ {
+		v := 1e-4 * math.Pow(1000, rng.Float64())
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	// Sums accumulate in different orders, so compare with float slack.
+	if a.N() != whole.N() || math.Abs(a.Sum()-whole.Sum()) > 1e-9*whole.Sum() || a.Max() != whole.Max() {
+		t.Fatalf("merge lost samples: N=%d sum=%g max=%g, want N=%d sum=%g max=%g",
+			a.N(), a.Sum(), a.Max(), whole.N(), whole.Sum(), whole.Max())
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("p%g: merged %g != whole %g", 100*p, a.Quantile(p), whole.Quantile(p))
+		}
+	}
+
+	// Shape mismatch must panic, matching the constructor's contract.
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched shapes did not panic")
+		}
+	}()
+	a.Merge(NewLogHistogram(1e-3, 10, 8))
+}

@@ -1,0 +1,96 @@
+#!/bin/sh
+# daemon_smoke.sh — end-to-end smoke test for the tesimd daemon.
+#
+# Exercises the service contract the unit tests can't: a real process with
+# real signals. Flow:
+#
+#   1. build and start tesimd on a loopback port with a temp store
+#   2. submit a small synchronous sweep; expect 200 and a result document
+#   3. fetch the result twice; the bytes must be identical (digest-stable)
+#   4. submit a larger sweep asynchronously, SIGTERM the daemon mid-run;
+#      it must drain and exit 0 within the drain budget
+#   5. restart on the same store, re-submit the first sweep; it must be
+#      served from the content-addressed store with zero executions and
+#      byte-identical result bytes
+#
+# Usage: scripts/daemon_smoke.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-8845}"
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+STORE="$WORK/store.jsonl"
+PID=""
+
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/tesimd" ./cmd/tesimd
+
+start_daemon() {
+	"$WORK/tesimd" -addr "$ADDR" -store "$STORE" -drain-timeout 60s >"$WORK/tesimd.log" 2>&1 &
+	PID=$!
+	i=0
+	until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "daemon never became ready" >&2
+			cat "$WORK/tesimd.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "== start"
+start_daemon
+
+echo "== submit small sweep (wait=true)"
+REQ='{"configs":["TB-DOR","Thr.Eff."],"benchmarks":["BIN","MUM"],"scale":0.05,"wait":true}'
+CODE=$(curl -sS -o "$WORK/job1.json" -w '%{http_code}' -X POST "$BASE/v1/runs" -d "$REQ")
+[ "$CODE" = 200 ] || { echo "submit: HTTP $CODE" >&2; cat "$WORK/job1.json" >&2; exit 1; }
+ID=$(jq -r .id "$WORK/job1.json")
+STATUS=$(jq -r .status "$WORK/job1.json")
+[ "$STATUS" = done ] || { echo "job $ID status $STATUS, want done" >&2; exit 1; }
+
+echo "== result digest-stable across repeat queries"
+curl -fsS "$BASE/v1/runs/$ID/result" >"$WORK/res1.json"
+curl -fsS "$BASE/v1/runs/$ID/result" >"$WORK/res1b.json"
+cmp "$WORK/res1.json" "$WORK/res1b.json" || { echo "repeat result queries differ" >&2; exit 1; }
+jq -e '.runs | length == 4' "$WORK/res1.json" >/dev/null || { echo "result missing runs" >&2; exit 1; }
+
+echo "== SIGTERM mid-run drains cleanly"
+# A bigger async sweep so the daemon has work in flight when the signal
+# lands; the drain must still finish it (or checkpoint) and exit 0.
+curl -fsS -X POST "$BASE/v1/runs" \
+	-d '{"configs":["TB-DOR","CP-CR","Thr.Eff."],"benchmarks":["BIN","MUM","WP"],"scale":0.2}' >/dev/null
+sleep 0.3
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+PID=""
+[ "$RC" = 0 ] || { echo "drain exit code $RC, want 0" >&2; cat "$WORK/tesimd.log" >&2; exit 1; }
+grep -q "drained" "$WORK/tesimd.log" || { echo "no drain log line" >&2; cat "$WORK/tesimd.log" >&2; exit 1; }
+
+echo "== restart serves from store without re-execution"
+start_daemon
+CODE=$(curl -sS -o "$WORK/job2.json" -w '%{http_code}' -X POST "$BASE/v1/runs" -d "$REQ")
+[ "$CODE" = 200 ] || { echo "re-submit: HTTP $CODE" >&2; exit 1; }
+ID2=$(jq -r .id "$WORK/job2.json")
+[ "$ID2" = "$ID" ] || { echo "content address changed across restart: $ID2 vs $ID" >&2; exit 1; }
+curl -fsS "$BASE/v1/runs/$ID/result" >"$WORK/res2.json"
+cmp "$WORK/res1.json" "$WORK/res2.json" || { echo "result bytes differ across restart" >&2; exit 1; }
+EXECUTED=$(curl -fsS "$BASE/statusz" | jq .pool_executed)
+[ "$EXECUTED" = 0 ] || { echo "restarted daemon re-executed $EXECUTED runs, want 0" >&2; exit 1; }
+
+echo "== clean shutdown"
+kill -TERM "$PID"
+wait "$PID" || { echo "final drain failed" >&2; exit 1; }
+PID=""
+
+echo "daemon smoke OK"
