@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/noc"
 	"repro/internal/prof"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -92,7 +93,11 @@ func main() {
 	}
 	if *resume {
 		if n := suite.SkippedJournalLines(); n > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: skipped %d corrupt checkpoint line(s); those runs re-execute\n", n)
+			fmt.Fprintf(os.Stderr, "experiments: skipped %d torn checkpoint line(s); those runs re-execute\n", n)
+		}
+		if n := suite.QuarantinedJournalLines(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: quarantined %d corrupt checkpoint record(s) to %s; those runs re-execute\n",
+				n, runner.QuarantinePath(*checkpoint))
 		}
 	}
 

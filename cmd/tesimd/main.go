@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -39,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/service"
 )
 
@@ -55,7 +57,15 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", service.DefaultMaxDeadline, "clamp on requested job deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
 	idleSkip := flag.Bool("idle-skip", true, "fast-forward fully idle simulation windows (bit-identical results)")
+	listCPs := flag.Bool("list-crashpoints", false, "print registered crashpoint names (for scripts/chaos.sh) and exit")
 	flag.Parse()
+
+	if *listCPs {
+		for _, p := range iofault.Points() {
+			fmt.Println(p)
+		}
+		return
+	}
 
 	logger := log.New(os.Stderr, "tesimd: ", log.LstdFlags|log.Lmsgprefix)
 	srv, err := service.New(service.Options{

@@ -227,9 +227,14 @@ func (s *Suite) Outcomes() []runner.Outcome { return s.pool.Outcomes() }
 // (cache hits and checkpoint-resumed runs excluded).
 func (s *Suite) Executed() int { return s.pool.Executed() }
 
-// SkippedJournalLines returns how many corrupt checkpoint lines resume
-// ignored.
+// SkippedJournalLines returns how many torn trailing checkpoint lines
+// resume ignored (an interrupted final append; at most one).
 func (s *Suite) SkippedJournalLines() int { return s.pool.Skipped() }
+
+// QuarantinedJournalLines returns how many corrupt checkpoint records
+// resume moved to the .corrupt sidecar (CRC mismatch, bad framing, or
+// invalid JSON anywhere in the file).
+func (s *Suite) QuarantinedJournalLines() int { return s.pool.Quarantined() }
 
 // Close flushes and closes the checkpoint journal.
 func (s *Suite) Close() error { return s.pool.Close() }

@@ -1,0 +1,406 @@
+// Package iofault is the injectable filesystem seam under every durable
+// write path in the repository (the runner's checkpoint journal and the
+// service daemon's content-addressed store). Production code talks to the
+// FS interface; iofault.OS forwards straight to the os package, and
+// FaultFS wraps any FS with seeded, deterministic fault injection — EIO,
+// ENOSPC, short writes, and a power-cut simulator that truncates or
+// garbage-fills whatever was written but never fsynced — so the
+// durability contract can be adversarially tested in-process, the way the
+// NoC kernel is pinned by golden digests.
+//
+// The package also hosts the crashpoint framework (crashpoint.go): named
+// kill-the-process points at every append/fsync/seal/quarantine boundary,
+// armed by environment variable in a re-exec'd child so a chaos harness
+// can prove "every acknowledged result survives restart" for real
+// processes, not just mocked files.
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+
+	"repro/internal/xrand"
+)
+
+// File is the slice of *os.File the journal write paths need. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem seam: every durable artifact (journal, quarantine
+// sidecar) is created, appended, synced and renamed through one of these.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// OS is the passthrough FS used by all production code.
+var OS FS = osFS{}
+
+// Fault is one scripted fault. The zero Op matches every operation.
+type Fault struct {
+	// Op selects the operation: "write", "sync", "open", "truncate",
+	// "rename", "remove", or "" for any.
+	Op string
+	// Path, when non-empty, restricts the fault to that file.
+	Path string
+	// Err is returned by the faulted operation. Typical values are
+	// syscall.EIO and syscall.ENOSPC.
+	Err error
+	// Short, for write faults, writes only Short bytes before failing —
+	// the torn-write wound a real ENOSPC or power cut leaves behind.
+	Short int
+	// Count is how many times the fault fires before expiring; 0 means
+	// once, a negative count never expires (a persistently broken disk).
+	Count int
+}
+
+// FaultFS wraps a base FS with deterministic fault injection. Faults come
+// from two sources that compose:
+//
+//   - a script (Inject): explicit faults consumed in order, for tests that
+//     need "the third sync fails with ENOSPC";
+//   - a seeded chaos mode (Chaos): every write/sync fails with probability
+//     p drawn from a deterministic xrand stream, alternating EIO and
+//     ENOSPC, for fuzz-flavoured soak tests that must still replay
+//     bit-exactly from a seed.
+//
+// FaultFS additionally tracks, per file, how many bytes were durable at
+// the last successful Sync, so PowerCut can simulate what a power failure
+// does to a journal: the synced prefix survives untouched, the unsynced
+// tail is truncated at a seeded point and optionally garbage-filled.
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	base FS
+
+	mu     sync.Mutex
+	script []Fault
+	rng    *xrand.Rand
+	pWrite float64
+	pSync  float64
+	flip   bool // alternates EIO/ENOSPC in chaos mode
+	// dropSyncs makes Sync lie: it reports success without advancing the
+	// durable horizon, modelling a disk or filesystem that ignores
+	// barriers. Combined with PowerCut it yields the nastiest realistic
+	// wound: records the writer believed durable are garbage on disk.
+	dropSyncs bool
+	files     map[string]*fileMeta
+}
+
+type fileMeta struct {
+	synced int64 // durable bytes as of the last honest Sync
+	size   int64 // best-effort current size (advanced by writes)
+}
+
+// NewFaultFS wraps base (nil means iofault.OS) with no faults armed.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS
+	}
+	return &FaultFS{base: base, files: make(map[string]*fileMeta)}
+}
+
+// Inject arms one scripted fault; faults fire in injection order as
+// matching operations arrive.
+func (ff *FaultFS) Inject(f Fault) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if f.Err == nil && f.Short == 0 {
+		f.Err = syscall.EIO
+	}
+	ff.script = append(ff.script, f)
+}
+
+// Clear disarms every scripted fault and turns chaos mode off; the fault
+// "clears" the way a full disk does when space is freed.
+func (ff *FaultFS) Clear() {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.script = nil
+	ff.pWrite, ff.pSync = 0, 0
+}
+
+// Chaos arms seeded random injection: each write fails with probability
+// pWrite and each sync with probability pSync, errors alternating between
+// EIO and ENOSPC. The stream is deterministic in seed.
+func (ff *FaultFS) Chaos(seed uint64, pWrite, pSync float64) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.rng = xrand.New(seed)
+	ff.pWrite, ff.pSync = pWrite, pSync
+}
+
+// DropSyncs toggles lying-fsync mode: Sync returns success but the
+// durable horizon does not advance, so a later PowerCut treats everything
+// since the last honest sync as unsynced tail.
+func (ff *FaultFS) DropSyncs(on bool) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.dropSyncs = on
+}
+
+// take pops the first matching scripted fault, or asks the chaos stream.
+// Callers hold ff.mu.
+func (ff *FaultFS) take(op, path string) *Fault {
+	for i := range ff.script {
+		f := &ff.script[i]
+		if f.Op != "" && f.Op != op {
+			continue
+		}
+		if f.Path != "" && f.Path != path {
+			continue
+		}
+		out := *f
+		if f.Count > 0 {
+			f.Count--
+			if f.Count == 0 {
+				ff.script = append(ff.script[:i], ff.script[i+1:]...)
+			}
+		} else if f.Count == 0 {
+			ff.script = append(ff.script[:i], ff.script[i+1:]...)
+		} // negative Count: sticky, never removed
+		return &out
+	}
+	var p float64
+	switch op {
+	case "write":
+		p = ff.pWrite
+	case "sync":
+		p = ff.pSync
+	}
+	if p > 0 && ff.rng != nil && ff.rng.Bool(p) {
+		ff.flip = !ff.flip
+		err := error(syscall.EIO)
+		if ff.flip {
+			err = syscall.ENOSPC
+		}
+		return &Fault{Op: op, Err: err}
+	}
+	return nil
+}
+
+func (ff *FaultFS) meta(path string) *fileMeta {
+	m := ff.files[path]
+	if m == nil {
+		m = &fileMeta{}
+		ff.files[path] = m
+	}
+	return m
+}
+
+// OpenFile opens through the seam, tracking the file for power-cut
+// accounting. An O_TRUNC open resets the durable horizon.
+func (ff *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	ff.mu.Lock()
+	if f := ff.take("open", name); f != nil {
+		ff.mu.Unlock()
+		return nil, &os.PathError{Op: "open", Path: name, Err: f.Err}
+	}
+	ff.mu.Unlock()
+	f, err := ff.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	ff.mu.Lock()
+	_, seen := ff.files[name]
+	m := ff.meta(name)
+	if st, err := f.Stat(); err == nil {
+		m.size = st.Size() // O_TRUNC already took effect in the base FS
+		if !seen {
+			// First contact: the file predates this FaultFS, so its
+			// current contents are assumed durable.
+			m.synced = m.size
+		}
+		if m.synced > m.size {
+			m.synced = m.size
+		}
+	}
+	ff.mu.Unlock()
+	return &faultFile{ff: ff, f: f, path: name}, nil
+}
+
+func (ff *FaultFS) Rename(oldpath, newpath string) error {
+	ff.mu.Lock()
+	if f := ff.take("rename", oldpath); f != nil {
+		ff.mu.Unlock()
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: f.Err}
+	}
+	if m, ok := ff.files[oldpath]; ok {
+		ff.files[newpath] = m
+		delete(ff.files, oldpath)
+	}
+	ff.mu.Unlock()
+	return ff.base.Rename(oldpath, newpath)
+}
+
+func (ff *FaultFS) Remove(name string) error {
+	ff.mu.Lock()
+	if f := ff.take("remove", name); f != nil {
+		ff.mu.Unlock()
+		return &os.PathError{Op: "remove", Path: name, Err: f.Err}
+	}
+	delete(ff.files, name)
+	ff.mu.Unlock()
+	return ff.base.Remove(name)
+}
+
+// Synced returns how many bytes of path are durable (survive PowerCut).
+func (ff *FaultFS) Synced(path string) int64 {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if m, ok := ff.files[path]; ok {
+		return m.synced
+	}
+	return 0
+}
+
+// PowerCut simulates pulling the plug on every tracked file: the synced
+// prefix survives byte-for-byte; the unsynced tail is cut at a seeded
+// point and, when garble is true, the surviving unsynced bytes are
+// overwritten with seeded garbage (modelling a block device that tore the
+// sectors). Open faultFile handles become useless afterwards — like the
+// process, they did not survive.
+func (ff *FaultFS) PowerCut(seed uint64, garble bool) error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	rng := xrand.New(seed)
+	for path, m := range ff.files {
+		f, err := ff.base.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("iofault: power-cut %s: %w", path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		size := st.Size()
+		if size > m.synced {
+			// Keep a seeded-random prefix of the unsynced tail, then
+			// optionally garble what survives of it.
+			keep := m.synced + int64(rng.Intn(int(size-m.synced)+1))
+			if err := f.Truncate(keep); err != nil {
+				f.Close()
+				return err
+			}
+			if garble && keep > m.synced {
+				junk := make([]byte, keep-m.synced)
+				for i := range junk {
+					junk[i] = byte(rng.Uint64())
+				}
+				if _, err := f.(io.WriterAt).WriteAt(junk, m.synced); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			m.size = keep
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultFile threads writes and syncs through the injector.
+type faultFile struct {
+	ff   *FaultFS
+	f    File
+	path string
+}
+
+func (x *faultFile) Read(p []byte) (int, error)              { return x.f.Read(p) }
+func (x *faultFile) ReadAt(p []byte, off int64) (int, error) { return x.f.ReadAt(p, off) }
+func (x *faultFile) Stat() (os.FileInfo, error)              { return x.f.Stat() }
+func (x *faultFile) Close() error                            { return x.f.Close() }
+
+func (x *faultFile) Write(p []byte) (int, error) {
+	x.ff.mu.Lock()
+	f := x.ff.take("write", x.path)
+	x.ff.mu.Unlock()
+	if f != nil {
+		n := 0
+		if f.Short > 0 && f.Short < len(p) {
+			n, _ = x.f.Write(p[:f.Short])
+		}
+		err := f.Err
+		if err == nil {
+			err = syscall.EIO
+		}
+		x.ff.mu.Lock()
+		x.ff.meta(x.path).size += int64(n)
+		x.ff.mu.Unlock()
+		return n, &os.PathError{Op: "write", Path: x.path, Err: err}
+	}
+	n, err := x.f.Write(p)
+	x.ff.mu.Lock()
+	x.ff.meta(x.path).size += int64(n)
+	x.ff.mu.Unlock()
+	return n, err
+}
+
+func (x *faultFile) Sync() error {
+	x.ff.mu.Lock()
+	f := x.ff.take("sync", x.path)
+	drop := x.ff.dropSyncs
+	x.ff.mu.Unlock()
+	if f != nil {
+		return &os.PathError{Op: "sync", Path: x.path, Err: f.Err}
+	}
+	if drop {
+		return nil // the lie: "durable" without advancing the horizon
+	}
+	if err := x.f.Sync(); err != nil {
+		return err
+	}
+	x.ff.mu.Lock()
+	m := x.ff.meta(x.path)
+	if st, err := x.f.Stat(); err == nil {
+		m.size = st.Size()
+	}
+	m.synced = m.size
+	x.ff.mu.Unlock()
+	return nil
+}
+
+func (x *faultFile) Truncate(size int64) error {
+	x.ff.mu.Lock()
+	f := x.ff.take("truncate", x.path)
+	x.ff.mu.Unlock()
+	if f != nil {
+		return &os.PathError{Op: "truncate", Path: x.path, Err: f.Err}
+	}
+	if err := x.f.Truncate(size); err != nil {
+		return err
+	}
+	x.ff.mu.Lock()
+	m := x.ff.meta(x.path)
+	m.size = size
+	if m.synced > size {
+		m.synced = size
+	}
+	x.ff.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,222 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func tmpfile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "f.dat")
+}
+
+func TestOSPassthrough(t *testing.T) {
+	path := tmpfile(t)
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+}
+
+func TestScriptedFaults(t *testing.T) {
+	ff := NewFaultFS(OS)
+	path := tmpfile(t)
+	f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ff.Inject(Fault{Op: "sync", Err: syscall.ENOSPC})
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sync error = %v, want ENOSPC", err)
+	}
+	// The fault expired; the next sync is clean.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-fault sync: %v", err)
+	}
+
+	ff.Inject(Fault{Op: "write", Err: syscall.EIO, Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("b")); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("write %d error = %v, want EIO", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("b")); err != nil {
+		t.Fatalf("write after count exhausted: %v", err)
+	}
+}
+
+func TestStickyFaultAndClear(t *testing.T) {
+	ff := NewFaultFS(OS)
+	path := tmpfile(t)
+	f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ff.Inject(Fault{Op: "write", Err: syscall.ENOSPC, Count: -1})
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("sticky fault did not fire on write %d: %v", i, err)
+		}
+	}
+	ff.Clear()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	ff := NewFaultFS(OS)
+	path := tmpfile(t)
+	f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.Inject(Fault{Op: "write", Short: 3, Err: syscall.ENOSPC})
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write = (%d, %v), want (3, ENOSPC)", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("file holds %q after short write, want \"abc\"", b)
+	}
+}
+
+// TestPowerCutPreservesSyncedPrefix is the core power-cut contract:
+// everything before the last honest sync survives byte-identical, the
+// unsynced tail is cut or garbled, and the wound is deterministic in the
+// seed.
+func TestPowerCutPreservesSyncedPrefix(t *testing.T) {
+	for _, garble := range []bool{false, true} {
+		ff := NewFaultFS(OS)
+		path := tmpfile(t)
+		f, err := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("durable-prefix\n"))
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("unsynced-tail-that-may-vanish\n"))
+		f.Close()
+
+		if got := ff.Synced(path); got != int64(len("durable-prefix\n")) {
+			t.Fatalf("Synced = %d, want %d", got, len("durable-prefix\n"))
+		}
+		if err := ff.PowerCut(7, garble); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) < len("durable-prefix\n") || string(b[:len("durable-prefix\n")]) != "durable-prefix\n" {
+			t.Fatalf("garble=%v: synced prefix damaged: %q", garble, b)
+		}
+		if len(b) > len("durable-prefix\n")+len("unsynced-tail-that-may-vanish\n") {
+			t.Fatalf("file grew across power cut: %d bytes", len(b))
+		}
+	}
+}
+
+// TestPowerCutDeterministic pins that the same seed yields the same wound.
+func TestPowerCutDeterministic(t *testing.T) {
+	wound := func() []byte {
+		ff := NewFaultFS(OS)
+		path := tmpfile(t)
+		f, _ := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		f.Write([]byte("synced"))
+		f.Sync()
+		f.Write([]byte("0123456789abcdef0123456789abcdef"))
+		f.Close()
+		if err := ff.PowerCut(42, true); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := os.ReadFile(path)
+		return b
+	}
+	a, b := wound(), wound()
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different wounds:\n%q\n%q", a, b)
+	}
+}
+
+func TestDropSyncsWidensTheWound(t *testing.T) {
+	ff := NewFaultFS(OS)
+	ff.DropSyncs(true)
+	path := tmpfile(t)
+	f, _ := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("believed-durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync should report success: %v", err)
+	}
+	f.Close()
+	if got := ff.Synced(path); got != 0 {
+		t.Fatalf("Synced = %d under DropSyncs, want 0", got)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	runs := func() []bool {
+		ff := NewFaultFS(OS)
+		ff.Chaos(99, 0.5, 0)
+		path := tmpfile(t)
+		f, _ := ff.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		defer f.Close()
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			_, err := f.Write([]byte("x"))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := runs(), runs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos stream diverged at write %d", i)
+		}
+	}
+	saw := map[bool]bool{}
+	for _, ok := range a {
+		saw[ok] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Fatalf("chaos at p=0.5 produced no mix over 32 writes: %v", a)
+	}
+}
+
+func TestCrashpointDisarmedIsNoop(t *testing.T) {
+	if Armed() != "" {
+		t.Skip("crashpoint armed in this process")
+	}
+	for _, p := range Points() {
+		Crashpoint(p) // must simply return
+	}
+	if len(Points()) < 6 {
+		t.Fatalf("only %d registered crashpoints; the chaos sweep expects full append/seal/quarantine coverage", len(Points()))
+	}
+}

@@ -2,12 +2,15 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/iofault"
 )
 
 func journalPath(t *testing.T) string {
@@ -33,19 +36,19 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, skipped, err := LoadJournal(path)
+	got, stats, err := LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
-		t.Errorf("skipped = %d, want 0", skipped)
+	if stats.Skipped != 0 || stats.Quarantined != 0 {
+		t.Errorf("replay stats = %+v, want clean", stats)
 	}
 	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }
 
-func TestLoadJournalSkipsCorruptLines(t *testing.T) {
+func TestLoadJournalQuarantinesCorruptLines(t *testing.T) {
 	path := journalPath(t)
 	j, err := OpenJournal(path)
 	if err != nil {
@@ -56,7 +59,9 @@ func TestLoadJournalSkipsCorruptLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	// Simulate a crash mid-write: a garbage line and a truncated record.
+	// Simulate a crash mid-write preceded by real corruption: a garbage
+	// line (quarantined to the sidecar) and a truncated record (the torn
+	// final line, counted as skipped).
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -65,22 +70,140 @@ func TestLoadJournalSkipsCorruptLines(t *testing.T) {
 	f.WriteString(`{"key":"torn|run|s1|i1","attempts":1,"result":{"Stat`)
 	f.Close()
 
-	got, skipped, err := LoadJournal(path)
+	got, stats, err := LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].Key != "good|run|s1|i1" {
 		t.Fatalf("records = %+v, want just the good one", got)
 	}
-	if skipped != 2 {
-		t.Errorf("skipped = %d, want 2", skipped)
+	if stats.Quarantined != 1 || stats.Skipped != 1 {
+		t.Errorf("stats = %+v, want 1 quarantined + 1 skipped", stats)
+	}
+	side, err := os.ReadFile(QuarantinePath(path))
+	if err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+	if !strings.Contains(string(side), "this is not json") {
+		t.Errorf("sidecar does not preserve the corrupt line: %q", side)
+	}
+}
+
+// TestFlippedByteQuarantinesExactlyOne is the acceptance criterion for the
+// v2 framing: a single flipped byte in the middle of the file must cost
+// exactly the record it hit — every other record replays, the corrupt one
+// is quarantined, and nothing is falsely accepted. (Under the v1 plain-JSON
+// format a flipped byte inside a string value still parsed and was served
+// as truth.)
+func TestFlippedByteQuarantinesExactlyOne(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"A|MUM|s1|i10", "B|MUM|s1|i10", "C|MUM|s1|i10"}
+	for _, key := range keys {
+		if err := j.Append(Record{Key: key, Attempts: 1, Result: core.Result{Status: "ok", IPC: 7.25}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the middle record's JSON payload.
+	mid := []byte(`"key":"B|MUM`)
+	i := strings.Index(string(raw), string(mid))
+	if i < 0 {
+		t.Fatal("middle record not found in journal bytes")
+	}
+	raw[i+8] ^= 0x20 // 'B' -> 'b': still perfectly valid JSON, wrong data
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != keys[0] || got[1].Key != keys[2] {
+		t.Fatalf("records after flip = %+v, want A and C", got)
+	}
+	if stats.Quarantined != 1 || stats.Skipped != 0 {
+		t.Errorf("stats = %+v, want exactly 1 quarantined, 0 skipped", stats)
+	}
+	if _, err := os.Stat(QuarantinePath(path)); err != nil {
+		t.Errorf("quarantine sidecar missing: %v", err)
+	}
+	// The journal must remain appendable past the wound.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Key: "D|MUM|s1|i10", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	got, stats, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || stats.Quarantined != 1 {
+		t.Fatalf("after append past wound: %d records, stats %+v", len(got), stats)
+	}
+}
+
+// TestV1JournalMigration pins that a journal written by the previous
+// format (version-1 header, plain JSONL records, no checksums) still
+// replays, and that appending to it writes v2 frames the loader accepts
+// alongside the legacy lines.
+func TestV1JournalMigration(t *testing.T) {
+	path := journalPath(t)
+	v1 := `{"kind":"journal-header","version":1}
+{"key":"A|MUM|s1|i10","attempts":1,"result":{"Benchmark":"MUM","Config":"A","Status":"ok","IPC":3.5}}
+{"key":"B|MUM|s1|i10","attempts":2,"result":{"Benchmark":"MUM","Config":"B","Status":"stall"}}
+`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "A|MUM|s1|i10" || got[1].Attempts != 2 {
+		t.Fatalf("v1 journal replay = %+v", got)
+	}
+	if stats.Skipped != 0 || stats.Quarantined != 0 {
+		t.Errorf("v1 replay stats = %+v, want clean", stats)
+	}
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "C|MUM|s1|i10", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), "\n*") {
+		t.Errorf("append to v1 journal did not write a v2 frame:\n%s", raw)
+	}
+	got, _, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Key != "C|MUM|s1|i10" {
+		t.Fatalf("mixed v1+v2 replay = %+v", got)
 	}
 }
 
 func TestLoadJournalMissingFile(t *testing.T) {
-	recs, skipped, err := LoadJournal(journalPath(t))
-	if err != nil || recs != nil || skipped != 0 {
-		t.Errorf("missing journal: recs=%v skipped=%d err=%v, want all zero", recs, skipped, err)
+	recs, stats, err := LoadJournal(journalPath(t))
+	if err != nil || recs != nil || stats != (ReplayStats{}) {
+		t.Errorf("missing journal: recs=%v stats=%+v err=%v, want all zero", recs, stats, err)
 	}
 }
 
@@ -90,6 +213,141 @@ func TestLoadJournalRejectsFutureVersion(t *testing.T) {
 	if _, _, err := LoadJournal(path); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("future-version journal accepted: %v", err)
 	}
+}
+
+// TestWoundedJournalRefusesThenHeals: an append that fails fsync wounds
+// the journal (read-only, error surfaced); once the fault clears the next
+// append heals — truncating back to the durable boundary — and the file
+// replays with zero corruption.
+func TestWoundedJournalRefusesThenHeals(t *testing.T) {
+	ff := iofault.NewFaultFS(iofault.OS)
+	path := journalPath(t)
+	j, err := OpenJournalFS(ff, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "A|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ff.Inject(iofault.Fault{Op: "sync", Err: syscall.ENOSPC})
+	err = j.Append(Record{Key: "B|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok"}})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under ENOSPC = %v, want ENOSPC", err)
+	}
+	if j.Wounded() == nil {
+		t.Fatal("journal not wounded after fsync failure")
+	}
+	// While wounded and the disk still broken, appends refuse loudly.
+	ff.Inject(iofault.Fault{Op: "truncate", Err: syscall.EIO})
+	if err := j.Append(Record{Key: "C|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok"}}); !errors.Is(err, ErrWounded) {
+		t.Fatalf("wounded append = %v, want ErrWounded", err)
+	}
+
+	// Fault cleared: the next append heals (truncate to the durable
+	// boundary) and succeeds.
+	if err := j.Append(Record{Key: "D|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+		t.Fatalf("append after fault cleared: %v", err)
+	}
+	if j.Wounded() != nil {
+		t.Errorf("journal still wounded after heal: %v", j.Wounded())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Quarantined != 0 || stats.Skipped != 0 {
+		t.Errorf("healed journal replays dirty: %+v", stats)
+	}
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	if len(recs) != 2 || recs[0].Key != "A|MUM|s1|i1" || recs[1].Key != "D|MUM|s1|i1" {
+		t.Fatalf("healed journal holds %v, want [A D]", keys)
+	}
+}
+
+// TestJournalPowerCut drives the nastiest realistic wound: a filesystem
+// that acknowledges fsync without making data durable, then loses power.
+// Only the honestly-synced prefix survives; replay must recover every
+// record in it, quarantine or skip the garbage, and never fabricate a
+// record (zero false positives).
+func TestJournalPowerCut(t *testing.T) {
+	for _, garble := range []bool{false, true} {
+		ff := iofault.NewFaultFS(iofault.OS)
+		path := journalPath(t)
+		j, err := OpenJournalFS(ff, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Key: "durable|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok", IPC: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		// From here on, fsync lies: records appear committed but are not.
+		ff.DropSyncs(true)
+		for _, key := range []string{"lost1|MUM|s1|i1", "lost2|MUM|s1|i1"} {
+			if err := j.Append(Record{Key: key, Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ff.PowerCut(1234, garble); err != nil {
+			t.Fatal(err)
+		}
+
+		recs, stats, err := LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := map[string]bool{}
+		for _, r := range recs {
+			found[r.Key] = true
+			switch r.Key {
+			case "durable|MUM|s1|i1", "lost1|MUM|s1|i1", "lost2|MUM|s1|i1":
+			default:
+				t.Fatalf("garble=%v: replay fabricated record %+v", garble, r)
+			}
+		}
+		if !found["durable|MUM|s1|i1"] {
+			t.Fatalf("garble=%v: honestly-synced record lost: %+v", garble, recs)
+		}
+		// Whatever survived of the unsynced tail must be either a bit-exact
+		// record (kept), garbage (quarantined/skipped) — never a corrupted
+		// record accepted as valid. CRC gives us that; here we just assert
+		// the loader terminated with sane accounting.
+		if stats.Quarantined < 0 || stats.Skipped > 1 {
+			t.Errorf("garble=%v: stats = %+v", garble, stats)
+		}
+
+		// The journal must reopen and accept new records after the cut.
+		j2, err := OpenJournalFS(iofault.NewFaultFS(iofault.OS), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j2.Append(Record{Key: "post|MUM|s1|i1", Attempts: 1, Result: core.Result{Status: "ok"}}); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		recs2, _, err := LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsKey(recs2, "post|MUM|s1|i1") || !containsKey(recs2, "durable|MUM|s1|i1") {
+			t.Fatalf("garble=%v: post-cut append lost records: %+v", garble, recs2)
+		}
+	}
+}
+
+func containsKey(recs []Record, key string) bool {
+	for _, r := range recs {
+		if r.Key == key {
+			return true
+		}
+	}
+	return false
 }
 
 // TestResumeSkipsFinishedRuns is the core checkpoint contract: a second
@@ -171,7 +429,8 @@ func TestTransientOutcomesNotJournaled(t *testing.T) {
 // isolation: a journal whose final record was torn mid-write (no garbage
 // lines, no trailing newline). Every intact record loads, the torn line is
 // counted exactly once for the caller's warning, and reopening the journal
-// seals the tear so the next record starts cleanly.
+// seals the tear so the next record starts cleanly (after which the sealed
+// wreckage reads as one quarantined line, not a tear).
 func TestLoadJournalTruncatedFinalLine(t *testing.T) {
 	path := journalPath(t)
 	j, err := OpenJournal(path)
@@ -186,7 +445,7 @@ func TestLoadJournalTruncatedFinalLine(t *testing.T) {
 	j.Close()
 
 	// Tear the last record the way kill -9 during write(2) would: keep a
-	// prefix of its JSON with no newline.
+	// prefix of its frame with no newline.
 	full, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -195,22 +454,24 @@ func TestLoadJournalTruncatedFinalLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.WriteString(`{"key":"C|MUM|s1|i10","attempts":1,"result":{"IPC":`)
+	f.WriteString(`*deadbeef 52 {"key":"C|MUM|s1|i10","attempts":1,"result":{"IPC":`)
 	f.Close()
 
-	recs, skipped, err := LoadJournal(path)
+	recs, stats, err := LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 2 || recs[0].Key != "A|MUM|s1|i10" || recs[1].Key != "B|MUM|s1|i10" {
 		t.Fatalf("records after torn final line: %+v, want the two intact ones", recs)
 	}
-	if skipped != 1 {
-		t.Errorf("skipped = %d, want 1 (the torn final line)", skipped)
+	if stats.Skipped != 1 || stats.Quarantined != 0 {
+		t.Errorf("stats = %+v, want 1 skipped (the torn final line), 0 quarantined", stats)
 	}
 
 	// Reopen-and-append must seal the tear: the new record lands on its
 	// own line and both it and the intact prefix survive a second load.
+	// The sealed wreckage is now a complete (newline-terminated) corrupt
+	// line, so it moves from "skipped" to "quarantined".
 	j2, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
@@ -219,12 +480,15 @@ func TestLoadJournalTruncatedFinalLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	j2.Close()
-	recs, skipped, err = LoadJournal(path)
+	recs, stats, err = LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 3 || recs[2].Key != "D|MUM|s1|i10" || skipped != 1 {
-		t.Fatalf("after sealing: recs=%+v skipped=%d, want 3 records and 1 skip", recs, skipped)
+	if len(recs) != 3 || recs[2].Key != "D|MUM|s1|i10" {
+		t.Fatalf("after sealing: recs=%+v, want 3 records", recs)
+	}
+	if stats.Quarantined != 1 || stats.Skipped != 0 {
+		t.Errorf("after sealing: stats = %+v, want the sealed tear quarantined", stats)
 	}
 	if len(full) == 0 {
 		t.Fatal("journal unexpectedly empty before the tear")

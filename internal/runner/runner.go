@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/iofault"
 	"repro/internal/xrand"
 )
 
@@ -79,6 +80,18 @@ type Options struct {
 	// Resume preloads the journal into the cache so finished runs are
 	// never re-executed.
 	Resume bool
+	// FS is the filesystem seam under the checkpoint journal; nil means
+	// the real filesystem. Tests inject iofault.FaultFS to prove the
+	// durability contract under EIO/ENOSPC/power-cut.
+	FS iofault.FS
+	// Persist, when non-nil, is called with every freshly executed
+	// durable outcome BEFORE it is published to the cache — the service
+	// daemon's fsynced store append. A non-nil error means the outcome
+	// could not be made durable: the pool then refuses to cache it and
+	// returns it with Status "io_error", so nothing is ever acknowledged
+	// or served from memory that would not survive a restart. Calls are
+	// serialized.
+	Persist func(Record) error
 	// Run overrides the simulation entry point (tests only).
 	Run RunFunc
 	// OnDone, when non-nil, receives every freshly executed outcome.
@@ -139,6 +152,11 @@ var retryableStatus = map[string]bool{
 	"panic":     false,
 	"canceled":  false,
 	"error":     false,
+	// io_error: the run itself finished but its result could not be made
+	// durable (store append failed). Retrying the simulation while the
+	// disk is still broken just burns a worker; the outcome is never
+	// cached, so a later re-submission re-executes once the fault clears.
+	"io_error": false,
 }
 
 // Retryable reports whether a status is a transient verdict worth another
@@ -207,7 +225,7 @@ type Pool struct {
 	cache      map[string]Outcome
 	inflight   map[string]*flight
 	executed   int
-	skipped    int // corrupt journal lines ignored during resume
+	replay     ReplayStats // what resume found besides valid records
 	journal    *Journal
 	journalErr error // first journal write failure, surfaced by Close
 
@@ -249,11 +267,11 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 	}
 	if opts.Checkpoint != "" {
 		if opts.Resume {
-			recs, skipped, err := LoadJournal(opts.Checkpoint)
+			recs, stats, err := LoadJournalFS(opts.FS, opts.Checkpoint)
 			if err != nil {
 				return nil, err
 			}
-			p.skipped = skipped
+			p.replay = stats
 			for _, rec := range recs {
 				p.cache[rec.Key] = Outcome{
 					Key:      rec.Key,
@@ -263,7 +281,7 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 				}
 			}
 		}
-		j, err := OpenJournal(opts.Checkpoint)
+		j, err := OpenJournalFS(opts.FS, opts.Checkpoint)
 		if err != nil {
 			return nil, err
 		}
@@ -361,14 +379,33 @@ func (p *Pool) DoContext(ctx context.Context, cfg core.Config) Outcome {
 		stop()
 		cancel()
 
+		// Durability gate: a durable outcome must be persisted BEFORE it
+		// is published to the cache, so the pool never serves from memory
+		// a result that would not survive a restart. A persist failure
+		// turns the outcome into an uncached "io_error": the caller sees
+		// the degradation, and a later request re-executes the run.
+		durable := !transient && out.Result.Status != "canceled" && out.Result.Status != "timeout"
+		var persistErr error
+		if durable && p.opts.Persist != nil {
+			p.cbMu.Lock()
+			persistErr = p.opts.Persist(Record{Key: out.Key, Attempts: out.Attempts, Result: out.Result})
+			p.cbMu.Unlock()
+			if persistErr != nil {
+				out.Result.Status = "io_error"
+				out.Err = persistErr
+			}
+		}
+
 		p.mu.Lock()
-		if !transient {
+		if !transient && persistErr == nil {
 			p.cache[key] = out
 		}
 		delete(p.inflight, key)
-		if !out.Cached && !out.Resumed && !transient {
+		if !transient {
 			p.executed++
-			p.appendJournalLocked(out)
+			if persistErr == nil {
+				p.appendJournalLocked(out)
+			}
 		}
 		p.mu.Unlock()
 		close(fl.done)
@@ -502,11 +539,26 @@ func (p *Pool) Executed() int {
 	return p.executed
 }
 
-// Skipped returns how many corrupt journal lines resume ignored.
+// Skipped returns how many torn journal lines resume ignored.
 func (p *Pool) Skipped() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.skipped
+	return p.replay.Skipped
+}
+
+// Quarantined returns how many corrupt journal records resume moved to
+// the .corrupt sidecar.
+func (p *Pool) Quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replay.Quarantined
+}
+
+// Replay returns the full resume replay statistics.
+func (p *Pool) Replay() ReplayStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replay
 }
 
 // Outcomes snapshots every terminal outcome, sorted by key for stable

@@ -347,6 +347,7 @@ func TestRetryableClassification(t *testing.T) {
 		"panic":     false,
 		"canceled":  false,
 		"error":     false,
+		"io_error":  false,
 
 		// Outside the vocabulary: an invalid-config message promoted
 		// into Status, and a verdict that does not exist yet.

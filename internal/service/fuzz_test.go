@@ -1,0 +1,89 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalSpec pins the content-addressing contract on arbitrary
+// request JSON: canonicalization either rejects a spec or produces a
+// fixed point — canonicalizing twice changes nothing, the JSON encoding
+// is byte-stable, and the derived ID is well-formed. A violation here
+// would split one logical job across several store entries (or worse,
+// alias two different jobs to one).
+func FuzzCanonicalSpec(f *testing.F) {
+	f.Add([]byte(`{"configs":["TB-DOR"],"benchmarks":["MUM"]}`))
+	f.Add([]byte(`{"configs":["Thr.Eff.","TB-DOR","TB-DOR"],"benchmarks":["WP","BIN"],"seed":7,"scale":0.5}`))
+	f.Add([]byte(`{"configs":[],"benchmarks":[]}`))
+	f.Add([]byte(`{"configs":["nope"],"benchmarks":["MUM"]}`))
+	f.Add([]byte(`{"scale":-1e308,"seed":18446744073709551615}`))
+	f.Add([]byte(`{"fault_rate":0.5,"fault_seed":3,"configs":["CP-CR"],"benchmarks":["AES"]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		canon, err := spec.Canonical(DefaultMaxRunsPerJob)
+		if err != nil {
+			return // rejection is a fine verdict; it just must not panic
+		}
+		again, err := canon.Canonical(DefaultMaxRunsPerJob)
+		if err != nil {
+			t.Fatalf("canonical spec rejected by its own validator: %v", err)
+		}
+		b1, _ := json.Marshal(canon)
+		b2, _ := json.Marshal(again)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("Canonical is not idempotent:\n%s\n%s", b1, b2)
+		}
+		id := canon.ID()
+		if id != again.ID() {
+			t.Fatal("ID unstable across re-canonicalization")
+		}
+		if len(id) != 21 || !strings.HasPrefix(id, "r") {
+			t.Fatalf("malformed job id %q", id)
+		}
+		// Every canonical spec must be buildable — admission relies on it.
+		if _, err := canon.BuildConfigs(); err != nil {
+			t.Fatalf("canonical spec failed to build: %v", err)
+		}
+	})
+}
+
+// FuzzSubmitHandler throws arbitrary bodies at POST /v1/runs on a live
+// server (stub simulator, in-memory store). The handler must never panic
+// and never answer 5xx: garbage is a 4xx, overload is 429/503, and
+// anything accepted resolves through the normal job machinery.
+func FuzzSubmitHandler(f *testing.F) {
+	f.Add([]byte(`{"configs":["TB-DOR"],"benchmarks":["MUM"],"wait":true}`))
+	f.Add([]byte(`{"configs":["CP-CR"],"benchmarks":["BIN"]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"wait":true,"deadline_ms":-5}`))
+	f.Add([]byte(`{"configs":["TB-DOR"],"benchmarks":["MUM"],"deadline_ms":99999999999}`))
+	f.Add([]byte("\x00\xff not json"))
+
+	srv, err := New(Options{Run: fakeRun, Jobs: 2, Logf: func(string, ...any) {}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() { ts.Close(); srv.Close() })
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (did the handler crash?): %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("submit answered %d for body %q", resp.StatusCode, body)
+		}
+	})
+}

@@ -153,6 +153,28 @@ func (j *Job) finish() {
 	close(j.done)
 }
 
+// ephemeral reports whether the job's terminal verdict must not be
+// pinned by content addressing: canceled jobs and jobs holding
+// non-durable io_error outcomes are replaced on re-submission, so a
+// transient disk fault (or an impatient client) never freezes a spec's
+// result forever. Running jobs are never ephemeral — the live job is
+// always joined, not replaced.
+func (j *Job) ephemeral() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusCanceled:
+		return true
+	case StatusDone:
+		for _, out := range j.outs {
+			if out.Result.Status == "io_error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func eventForStatus(status string) string {
 	if status == StatusCanceled {
 		return "canceled"

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -58,6 +59,10 @@ type Options struct {
 	RetryAfter time.Duration
 	// NoIdleSkip disables idle-horizon fast-forwarding in runs.
 	NoIdleSkip bool
+	// FS is the filesystem seam under the result store; nil means the
+	// real filesystem. Tests inject iofault.FaultFS to prove the
+	// ENOSPC/EIO/wounded-mode contract end to end.
+	FS iofault.FS
 	// Run overrides the simulation entry point (tests only).
 	Run runner.RunFunc
 	// Logf receives operational log lines; nil discards them.
@@ -78,7 +83,14 @@ type Server struct {
 	stopAll context.CancelFunc
 
 	draining atomic.Bool
-	started  time.Time
+	// wounded mirrors the store journal's health for the lock-free
+	// readiness path: set when a Put fails, cleared when one succeeds
+	// (the journal heals itself on the first append after the fault
+	// clears). While wounded, the daemon keeps serving — reads, cached
+	// results, even fresh runs — but readiness is degraded and no fresh
+	// result is acknowledged as durable.
+	wounded atomic.Bool
+	started time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -119,12 +131,19 @@ func New(opts Options) (*Server, error) {
 		opts.Logf = func(string, ...any) {}
 	}
 
-	store, err := OpenStore(opts.StorePath)
+	store, err := OpenStoreFS(opts.FS, opts.StorePath)
 	if err != nil {
 		return nil, err
 	}
 	if n := store.Skipped(); n > 0 {
 		opts.Logf("service: store replay skipped %d torn journal line(s); those runs re-execute on demand", n)
+	}
+	if n := store.Quarantined(); n > 0 {
+		opts.Logf("service: store replay quarantined %d corrupt record(s) to %s; those runs re-execute on demand",
+			n, runner.QuarantinePath(store.Path()))
+	}
+	if err := store.Replay().SidecarErr; err != nil {
+		opts.Logf("service: quarantine sidecar write failed (corrupt lines counted but not preserved): %v", err)
 	}
 	if store.Path() != "" {
 		opts.Logf("service: store %s replayed %d completed run(s)", store.Path(), store.Len())
@@ -149,16 +168,24 @@ func New(opts Options) (*Server, error) {
 		Shards:     opts.Shards,
 		Run:        opts.Run,
 		Lookup:     store.Get,
-		OnDone: func(out runner.Outcome) {
-			// Mirror the journal's checkpoint policy: canceled runs are
-			// not finished and timeouts are host-transient; everything
-			// else — ok or deterministic DNF — is durable and replayable.
-			if out.Result.Status == "canceled" || out.Result.Status == "timeout" {
-				return
+		// Persist runs BEFORE the pool publishes an outcome to its cache:
+		// the store append is fsynced when it returns, so everything the
+		// daemon ever acknowledges — HTTP result documents, cache hits,
+		// store hits — is durable by construction. On failure the pool
+		// returns an uncached "io_error" outcome, and the wounded flag
+		// degrades readiness until a later Put heals the journal.
+		Persist: func(rec runner.Record) error {
+			err := store.Put(rec)
+			if err != nil {
+				if s.wounded.CompareAndSwap(false, true) {
+					opts.Logf("service: store wounded — append failed, serving degraded until it heals: %v", err)
+				}
+				return err
 			}
-			if err := store.Put(runner.Record{Key: out.Key, Attempts: out.Attempts, Result: out.Result}); err != nil {
-				opts.Logf("service: store append failed (run %s still served from memory): %v", out.Key, err)
+			if s.wounded.CompareAndSwap(true, false) {
+				opts.Logf("service: store healed; appends are durable again")
 			}
+			return nil
 		},
 	})
 	if err != nil {
@@ -255,18 +282,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit returns the job for id, creating and admitting it when absent.
-// An existing terminal-canceled job is replaced — content addressing must
-// not pin a canceled verdict forever. ok=false means the queue shed it.
+// An existing ephemeral job (terminal-canceled, or done with non-durable
+// io_error runs) is replaced — content addressing must not pin those
+// verdicts forever. ok=false means the queue shed it.
 func (s *Server) admit(id string, spec Spec, req Request) (j *Job, created, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j := s.jobs[id]; j != nil {
-		j.mu.Lock()
-		terminalCanceled := j.status == StatusCanceled
-		j.mu.Unlock()
-		if !terminalCanceled {
-			return j, false, true
-		}
+	if j := s.jobs[id]; j != nil && !j.ephemeral() {
+		return j, false, true
 	}
 	if !s.adm.TryAcquire() {
 		return nil, false, false
@@ -477,6 +500,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		s.writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.wounded.Load():
+		s.writeError(w, http.StatusServiceUnavailable, "store wounded: results are not durable until the journal heals")
 	case s.adm.Saturated():
 		s.writeError(w, http.StatusServiceUnavailable, "admission queue saturated")
 	default:
@@ -513,9 +538,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		"jobs":          byStatus,
 		"pool_executed": s.pool.Executed(),
 		"store": map[string]any{
-			"results": s.store.Len(),
-			"skipped": s.store.Skipped(),
-			"path":    s.store.Path(),
+			"results":     s.store.Len(),
+			"skipped":     s.store.Skipped(),
+			"quarantined": s.store.Quarantined(),
+			"wounded":     s.wounded.Load(),
+			"path":        s.store.Path(),
 		},
 		"latency": lat,
 	})

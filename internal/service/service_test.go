@@ -311,9 +311,9 @@ func TestDrainFinishesInFlightAndRefusesNew(t *testing.T) {
 	}
 
 	// The in-flight run finished during drain and is durable.
-	recs, skipped, err := runner.LoadJournal(storePath)
-	if err != nil || skipped != 0 || len(recs) != 1 {
-		t.Fatalf("journal after drain: recs=%d skipped=%d err=%v, want exactly the drained run", len(recs), skipped, err)
+	recs, stats, err := runner.LoadJournal(storePath)
+	if err != nil || stats.Skipped != 0 || stats.Quarantined != 0 || len(recs) != 1 {
+		t.Fatalf("journal after drain: recs=%d stats=%+v err=%v, want exactly the drained run", len(recs), stats, err)
 	}
 }
 

@@ -3,41 +3,52 @@ package service
 import (
 	"sync"
 
+	"repro/internal/iofault"
 	"repro/internal/runner"
 )
 
 // Store is the daemon's content-addressed result store: a map from
 // runner.Key run identity to the completed record, persisted in the
-// runner's JSONL checkpoint-journal format. Every Put is appended and
-// fsynced before it is acknowledged, so a kill -9 loses at most the runs
-// still in flight; OpenStore replays the journal (torn lines tolerated
-// and counted) so a restarted daemon serves completed runs in O(1)
-// without re-executing them.
+// runner's CRC-framed checkpoint-journal format. Every Put is appended
+// and fsynced before it is acknowledged, so a kill -9 loses at most the
+// runs still in flight; OpenStore replays the journal (torn final lines
+// sealed and counted, corrupt records quarantined to the .corrupt
+// sidecar) so a restarted daemon serves completed runs in O(1) without
+// re-executing them. A Put that cannot be made durable fails loudly and
+// leaves the journal wounded — read traffic keeps working, but nothing is
+// acknowledged that would not survive a restart.
 type Store struct {
 	mu      sync.RWMutex
 	results map[string]runner.Record
 	journal *runner.Journal
-	skipped int
+	replay  runner.ReplayStats
 	path    string
 }
 
-// OpenStore replays and opens the journal at path. An empty path yields a
-// purely in-memory store (tests, ephemeral daemons); a missing file is a
-// fresh store, not an error.
+// OpenStore replays and opens the journal at path on the real filesystem;
+// see OpenStoreFS.
 func OpenStore(path string) (*Store, error) {
+	return OpenStoreFS(nil, path)
+}
+
+// OpenStoreFS replays and opens the journal at path through fs (nil means
+// the real filesystem). An empty path yields a purely in-memory store
+// (tests, ephemeral daemons); a missing file is a fresh store, not an
+// error.
+func OpenStoreFS(fs iofault.FS, path string) (*Store, error) {
 	s := &Store{results: make(map[string]runner.Record), path: path}
 	if path == "" {
 		return s, nil
 	}
-	recs, skipped, err := runner.LoadJournal(path)
+	recs, stats, err := runner.LoadJournalFS(fs, path)
 	if err != nil {
 		return nil, err
 	}
-	s.skipped = skipped
+	s.replay = stats
 	for _, rec := range recs {
 		s.results[rec.Key] = rec
 	}
-	j, err := runner.OpenJournal(path)
+	j, err := runner.OpenJournalFS(fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -53,9 +64,12 @@ func (s *Store) Get(key string) (runner.Record, bool) {
 	return rec, ok
 }
 
-// Put persists one completed run. A record identical to the stored one is
-// a no-op, so re-executions of deterministic runs never grow the journal.
-// The journal write is fsynced before Put returns.
+// Put persists one completed run: appended and fsynced before the map is
+// updated or the call returns, so an acknowledged Put is durable by
+// definition. A record identical to the stored one is a no-op, so
+// re-executions of deterministic runs never grow the journal. A journal
+// failure is returned loudly and the record is NOT served from memory —
+// a result the daemon could not persist must not be acknowledged.
 func (s *Store) Put(rec runner.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -63,9 +77,11 @@ func (s *Store) Put(rec runner.Record) error {
 		return nil
 	}
 	if s.journal != nil {
+		iofault.Crashpoint(iofault.CPStorePutBeforeAppend)
 		if err := s.journal.Append(rec); err != nil {
 			return err
 		}
+		iofault.Crashpoint(iofault.CPStorePutAfterAppend)
 	}
 	s.results[rec.Key] = rec
 	return nil
@@ -78,17 +94,45 @@ func (s *Store) Len() int {
 	return len(s.results)
 }
 
-// Skipped returns how many torn journal lines startup replay ignored.
+// Skipped returns how many torn journal lines startup replay sealed over.
 func (s *Store) Skipped() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.skipped
+	return s.replay.Skipped
+}
+
+// Quarantined returns how many corrupt journal records startup replay
+// moved to the .corrupt sidecar.
+func (s *Store) Quarantined() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replay.Quarantined
+}
+
+// Replay returns the full startup replay statistics.
+func (s *Store) Replay() runner.ReplayStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replay
+}
+
+// Wounded returns the journal's first durable-write failure, or nil.
+// Note: this takes the store lock; the HTTP readiness path must use the
+// server's atomic mirror instead.
+func (s *Store) Wounded() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Wounded()
 }
 
 // Path returns the journal path ("" for an in-memory store).
 func (s *Store) Path() string { return s.path }
 
-// Close closes the journal file; records already appended are durable.
+// Close closes the journal file; records already acknowledged are
+// durable, and a close-time fsync failure is propagated.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

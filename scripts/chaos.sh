@@ -1,0 +1,148 @@
+#!/bin/sh
+# chaos.sh — deterministic crash-point sweep against a real tesimd process.
+#
+# For every crashpoint the binary registers (tesimd -list-crashpoints),
+# arm it via TESIM_CRASHPOINT, drive the daemon to that exact write
+# boundary, let it SIGKILL itself, restart, and assert the durability
+# contract:
+#
+#   - every acknowledged result survives restart byte-identical, with
+#     zero re-executions;
+#   - an unacknowledged result re-executes (or was already durable);
+#   - replay never quarantines a correctly written record; seeded
+#     wreckage (torn tail, corrupt line) is contained to exactly one.
+#
+# Append-path points run with TESIM_CRASHPOINT_HITS=2 so request A is
+# acked on hit 1 before request B's append crashes on hit 2. Seal and
+# quarantine points fire during startup recovery, so those stores are
+# pre-seeded with wreckage and the armed daemon dies before ever serving.
+#
+# Usage: scripts/chaos.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-8846}"
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+PID=""
+
+cleanup() {
+	[ -n "$PID" ] && kill -KILL "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/tesimd" ./cmd/tesimd
+
+SPEC_A='{"configs":["TB-DOR"],"benchmarks":["MUM"],"scale":0.05,"wait":true}'
+SPEC_B='{"configs":["CP-CR"],"benchmarks":["MUM"],"scale":0.05,"wait":true}'
+
+start_daemon() { # $1 = crashpoint ("" = unarmed), $2 = hit budget
+	TESIM_CRASHPOINT="${1:-}" TESIM_CRASHPOINT_HITS="${2:-1}" \
+		"$WORK/tesimd" -addr "$ADDR" -store "$STORE" >"$WORK/tesimd.log" 2>&1 &
+	PID=$!
+}
+
+wait_ready() {
+	i=0
+	until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "daemon never became ready" >&2
+			cat "$WORK/tesimd.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+wait_killed() {
+	RC=0
+	wait "$PID" || RC=$?
+	PID=""
+	[ "$RC" = 137 ] || {
+		echo "daemon exited $RC, want 137 (SIGKILL at crashpoint)" >&2
+		cat "$WORK/tesimd.log" >&2
+		exit 1
+	}
+}
+
+submit_a() { # $1 = output json
+	CODE=$(curl -sS -o "$1" -w '%{http_code}' -X POST "$BASE/v1/runs" -d "$SPEC_A")
+	[ "$CODE" = 200 ] || { echo "submit A: HTTP $CODE" >&2; cat "$1" >&2; exit 1; }
+	[ "$(jq -r .status "$1")" = done ] || { echo "job A not done" >&2; cat "$1" >&2; exit 1; }
+	jq -r .id "$1"
+}
+
+for CP in $("$WORK/tesimd" -list-crashpoints); do
+	echo "== crashpoint $CP"
+	STORE="$WORK/$CP.jsonl"
+
+	case "$CP" in
+	journal.seal.* | journal.quarantine.*)
+		# Startup-recovery points: build a store with one acked record,
+		# seed wreckage behind it, and crash the daemon mid-recovery.
+		start_daemon "" 1
+		wait_ready
+		ID_A=$(submit_a "$WORK/job_a.json")
+		curl -fsS "$BASE/v1/runs/$ID_A/result" >"$WORK/res_a.json"
+		kill -KILL "$PID" 2>/dev/null
+		wait "$PID" 2>/dev/null || true
+		PID=""
+		case "$CP" in
+		journal.quarantine.*) printf '*00000000 9 {"bad":1}\n' >>"$STORE" ;;
+		*) printf '*deadbeef 48 {"half-written' >>"$STORE" ;;
+		esac
+		WANT_WRECK=1
+		start_daemon "$CP" 1
+		wait_killed
+		;;
+	*)
+		# Append-path points: A acks on hit 1, B's append crashes on hit 2.
+		start_daemon "$CP" 2
+		wait_ready
+		ID_A=$(submit_a "$WORK/job_a.json")
+		curl -fsS "$BASE/v1/runs/$ID_A/result" >"$WORK/res_a.json"
+		curl -sS -X POST "$BASE/v1/runs" -d "$SPEC_B" >/dev/null 2>&1 || true
+		WANT_WRECK=0
+		wait_killed
+		;;
+	esac
+
+	# Restart unarmed: the acked run must be served from the store —
+	# byte-identical, never re-executed — and recovery must not flag
+	# anything beyond the wreckage we seeded ourselves.
+	start_daemon "" 1
+	wait_ready
+	ID_A2=$(submit_a "$WORK/job_a2.json")
+	[ "$ID_A2" = "$ID_A" ] || { echo "content address drifted: $ID_A2 vs $ID_A" >&2; exit 1; }
+	curl -fsS "$BASE/v1/runs/$ID_A/result" >"$WORK/res_a2.json"
+	cmp "$WORK/res_a.json" "$WORK/res_a2.json" || {
+		echo "acked result changed across crash at $CP" >&2
+		exit 1
+	}
+	curl -fsS "$BASE/statusz" >"$WORK/statusz.json"
+	EXECUTED=$(jq .pool_executed "$WORK/statusz.json")
+	[ "$EXECUTED" = 0 ] || { echo "acked run re-executed $EXECUTED time(s) after $CP" >&2; exit 1; }
+	WRECK=$(jq '.store.skipped + .store.quarantined' "$WORK/statusz.json")
+	[ "$WRECK" = "$WANT_WRECK" ] || {
+		echo "replay flagged $WRECK record(s) after $CP, want $WANT_WRECK" >&2
+		cat "$WORK/tesimd.log" >&2
+		exit 1
+	}
+	case "$CP" in
+	journal.seal.* | journal.quarantine.*) ;;
+	*)
+		# The unacked run must complete correctly on re-submission.
+		CODE=$(curl -sS -o "$WORK/job_b.json" -w '%{http_code}' -X POST "$BASE/v1/runs" -d "$SPEC_B")
+		[ "$CODE" = 200 ] || { echo "re-submit B: HTTP $CODE" >&2; exit 1; }
+		[ "$(jq -r .status "$WORK/job_b.json")" = done ] || { echo "job B not done after restart" >&2; exit 1; }
+		;;
+	esac
+	kill -TERM "$PID"
+	wait "$PID" || { echo "post-crash drain failed" >&2; exit 1; }
+	PID=""
+done
+
+echo "chaos sweep OK"
