@@ -40,9 +40,11 @@ var configs = map[string]func(workload.Profile) core.Config{
 	"double": func(p workload.Profile) core.Config {
 		return core.Baseline(p).WithCheckerboardRouting().WithDoubleNetwork()
 	},
-	"te":      core.ThroughputEffective,
-	"te1net":  core.ThroughputEffectiveSingle,
-	"perfect": core.Perfect,
+	"te":       core.ThroughputEffective,
+	"te1net":   core.ThroughputEffectiveSingle,
+	"perfect":  core.Perfect,
+	"ring":     core.Ring,
+	"basejump": core.BaseJump,
 	"romm": func(p workload.Profile) core.Config {
 		c := core.Baseline(p).WithCheckerboardPlacement()
 		c.Name = "CP-ROMM"
@@ -55,6 +57,8 @@ var configs = map[string]func(workload.Profile) core.Config{
 func main() {
 	bench := flag.String("bench", "MUM", `benchmark abbreviation from Table I, or "all"`)
 	config := flag.String("config", "baseline", "network configuration: "+strings.Join(configNames(), "|"))
+	topology := flag.String("topology", "mesh",
+		"network substrate for topology-neutral configs: mesh|ring|basejump (named configs like -config ring already pick theirs)")
 	scale := flag.Float64("scale", 1.0, "kernel length scale")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	sched := flag.String("sched", "rr", "warp scheduler: rr|gto")
@@ -79,6 +83,11 @@ func main() {
 	build, ok := configs[strings.ToLower(*config)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tesim: unknown config %q (have %s)\n", *config, strings.Join(configNames(), ", "))
+		os.Exit(2)
+	}
+	kind, err := noc.ParseBackendKind(strings.ToLower(*topology))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tesim:", err)
 		os.Exit(2)
 	}
 	var profiles []workload.Profile
@@ -110,7 +119,12 @@ func main() {
 
 	cfgs := make([]core.Config, len(profiles))
 	for i, p := range profiles {
-		cfg := build(p).ScaleWork(*scale)
+		cfg, err := build(p).WithTopology(kind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tesim: -topology %s with -config %s: %v\n", kind, *config, err)
+			os.Exit(2)
+		}
+		cfg = cfg.ScaleWork(*scale)
 		cfg.Seed = *seed
 		if strings.ToLower(*sched) == "gto" {
 			cfg.Core.Scheduler = gpu.SchedGTO

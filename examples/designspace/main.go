@@ -1,9 +1,10 @@
 // Designspace reproduces the shape of the paper's Fig 2: the
 // throughput-effective design space. For a mix of Table I benchmarks it
-// places four designs on the (average IPC, 1/area) plane: the balanced
+// places the designs on the (average IPC, 1/area) plane: the balanced
 // baseline mesh, the naive 2x-bandwidth mesh, the combined
-// throughput-effective NoC, and the ideal (zero-area, infinite-bandwidth)
-// network.
+// throughput-effective NoC, the alternative topology backends (Wu-style
+// ring, BaseJump single-flit mesh), and the ideal (zero-area,
+// infinite-bandwidth) network.
 //
 //	go run ./examples/designspace
 package main
@@ -43,6 +44,8 @@ func main() {
 			area.FromConfig(bw2, false).Chip()},
 		{"Thr. Eff.", core.ThroughputEffective, area.FromConfig(teNoc, true).Chip()},
 		{"Thr. Eff. (1net)", core.ThroughputEffectiveSingle, area.FromConfig(te1Noc, false).Chip()},
+		{"Ring", core.Ring, area.FromConfig(core.Ring(profiles[0]).Noc, false).Chip()},
+		{"BaseJump", core.BaseJump, area.FromConfig(core.BaseJump(profiles[0]).Noc, false).Chip()},
 		{"Ideal NoC", core.Perfect, area.ComputeAreaMM2},
 	}
 

@@ -41,7 +41,18 @@ type RouterKind int
 const (
 	FullRouter RouterKind = iota
 	HalfRouter
+	// RingRouter has only the two East/West direction ports of the
+	// bidirectional ring backend.
+	RingRouter
 )
+
+// dirPorts is the number of direction (non-terminal) ports per kind.
+func dirPorts(kind RouterKind) int {
+	if kind == RingRouter {
+		return 2
+	}
+	return 4
+}
 
 // Crosspoints returns the crossbar crosspoint count for a router with the
 // given terminal port counts. A full mesh router connects every input to
@@ -57,6 +68,10 @@ func Crosspoints(kind RouterKind, injPorts, ejPorts int) int {
 	case HalfRouter:
 		// inj→{N,S,E,W}, {N,S,E,W}→ej, E↔W, N↔S.
 		return injPorts*4 + ejPorts*4 + 4
+	case RingRouter:
+		// (E + W + inj) × (E + W + ej): the full crossbar of a 2-direction
+		// ring stop.
+		return (2 + injPorts) * (2 + ejPorts)
 	}
 	panic(fmt.Sprintf("area: unknown router kind %d", kind))
 }
@@ -78,7 +93,7 @@ func (r RouterArea) Total() float64 { return r.Crossbar + r.Buffer + r.Allocator
 func Router(kind RouterKind, channelBytes, vcs, bufDepth, injPorts, ejPorts int) RouterArea {
 	w := float64(channelBytes)
 	xp := float64(Crosspoints(kind, injPorts, ejPorts))
-	inPorts := 4 + injPorts
+	inPorts := dirPorts(kind) + injPorts
 	bufBytes := float64(inPorts * vcs * bufDepth * channelBytes)
 	pv := float64(inPorts * vcs)
 	return RouterArea{
@@ -109,9 +124,12 @@ func MeshLinks(width, height int) int {
 	return 2 * (width*(height-1) + height*(width-1))
 }
 
-// FromConfig computes the network area of a mesh configuration, including
-// double (channel-sliced) networks when sliced is true: two networks at
-// half channel width, mirroring noc.NewDouble.
+// FromConfig computes the network area of any topology backend's
+// configuration, including double (channel-sliced) networks when sliced is
+// true: two networks at half channel width, mirroring noc.NewDouble. Router
+// kinds follow the backend: mesh/basejump nodes are full (or checkerboard
+// half-) routers, ring nodes are 2-direction ring stops, and the link count
+// comes from the backend's own channel enumeration.
 func FromConfig(cfg noc.Config, sliced bool) NetworkArea {
 	copies := 1
 	channel := cfg.FlitBytes
@@ -119,21 +137,25 @@ func FromConfig(cfg noc.Config, sliced bool) NetworkArea {
 		copies = 2
 		channel = cfg.FlitBytes / 2
 	}
-	topo := noc.MustNewTopology(cfg.Width, cfg.Height, cfg.Checkerboard, cfg.MCs)
+	backend := noc.MustBuildBackend(cfg)
+	ring := backend.Kind() == noc.BackendRing
 	var routers float64
-	for n := 0; n < topo.NumNodes(); n++ {
+	for n := 0; n < backend.NumNodes(); n++ {
 		node := noc.NodeID(n)
 		kind := FullRouter
-		if topo.IsHalf(node) {
+		switch {
+		case ring:
+			kind = RingRouter
+		case backend.IsHalf(node):
 			kind = HalfRouter
 		}
 		inj, ej := 1, 1
-		if topo.IsMC(node) {
+		if backend.IsMC(node) {
 			inj, ej = cfg.MCInjPorts, cfg.MCEjPorts
 		}
 		routers += Router(kind, channel, cfg.NumVCs, cfg.BufDepth, inj, ej).Total()
 	}
-	links := float64(MeshLinks(cfg.Width, cfg.Height)) * Link(channel)
+	links := float64(backend.Links()) * Link(channel)
 	return NetworkArea{
 		Routers: routers * float64(copies),
 		Links:   links * float64(copies),

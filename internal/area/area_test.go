@@ -71,6 +71,37 @@ func TestTableVIDouble2P(t *testing.T) {
 	within(t, "2P router", half2p.Total(), 0.395, 0.05)
 }
 
+// Ring stops expose only East/West, so their crossbar is 9/25 of a full
+// mesh router's and their buffering covers 3 in-ports rather than 5.
+func TestRingRouterArea(t *testing.T) {
+	ringr := Router(RingRouter, 16, 4, 4, 1, 1)
+	fullr := Router(FullRouter, 16, 4, 4, 1, 1)
+	within(t, "ring crossbar", ringr.Crossbar, fullr.Crossbar*9/25, 0.001)
+	within(t, "ring buffer", ringr.Buffer, fullr.Buffer*3/5, 0.001)
+	if ringr.Total() >= fullr.Total() {
+		t.Errorf("ring router (%.3f) not smaller than full router (%.3f)",
+			ringr.Total(), fullr.Total())
+	}
+}
+
+// FromConfig dispatches on the topology backend: a 36-node ring prices 36
+// ring stops and 72 unidirectional channels.
+func TestRingFromConfig(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Topology = noc.BackendRing
+	cfg.NumVCs = 4
+	cfg.BufDepth = 4
+	a := FromConfig(cfg, false)
+	r := Router(RingRouter, cfg.FlitBytes, cfg.NumVCs, cfg.BufDepth, 1, 1)
+	within(t, "ring router sum", a.Routers, 36*r.Total(), 0.001)
+	within(t, "ring link sum", a.Links, 72*Link(cfg.FlitBytes), 0.001)
+	base := FromConfig(noc.DefaultConfig(), false)
+	if a.NoC() >= base.NoC() {
+		t.Errorf("ring NoC area %.2f not below mesh %.2f at equal width",
+			a.NoC(), base.NoC())
+	}
+}
+
 func TestMeshLinks(t *testing.T) {
 	if got := MeshLinks(6, 6); got != 120 {
 		t.Errorf("6x6 mesh links = %d, want 120", got)

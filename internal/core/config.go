@@ -249,6 +249,83 @@ func Perfect(p workload.Profile) Config {
 	return c
 }
 
+// WithTopology switches the interconnect substrate of a topology-neutral
+// configuration (plain DOR, full routers) to another backend, retuning the
+// router microarchitecture to the backend's natural operating point and
+// suffixing Name so the design points never share result-cache keys:
+//
+//   - ring: 2-port Wu-style ring routers with minimal buffering (4 VCs =
+//     class × dateline phase, 4-flit buffers, 2-stage pipeline);
+//   - basejump: single-flit DOR mesh with full-width 64 B channels (one
+//     packet per flit), one VC per class, 2-flit buffers, 2-stage pipeline.
+//
+// Mesh-specific features (checkerboard placement/routing, ROMM, channel
+// slicing of single-flit networks) are rejected.
+func (c Config) WithTopology(kind noc.BackendKind) (Config, error) {
+	switch kind {
+	case noc.BackendMesh:
+		return c, nil
+	case noc.BackendRing, noc.BackendBaseJump:
+	default:
+		return c, fmt.Errorf("core: unknown topology backend %v", kind)
+	}
+	if c.Noc.Topology == kind {
+		return c, nil // already there (e.g. -topology ring on the Ring design point)
+	}
+	if c.Noc.Topology != noc.BackendMesh {
+		return c, fmt.Errorf("core: %q is already a %v configuration, cannot re-target it to %v",
+			c.Name, c.Noc.Topology, kind)
+	}
+	if c.Noc.Checkerboard || c.Noc.Routing != noc.RoutingDOR {
+		return c, fmt.Errorf("core: %v topology requires a plain DOR full-router configuration, got %q", kind, c.Name)
+	}
+	if (c.Net == NetDouble || c.Net == NetDoubleBalanced) && kind == noc.BackendBaseJump {
+		return c, fmt.Errorf("core: cannot channel-slice the single-flit basejump network")
+	}
+	c.Noc.Topology = kind
+	switch kind {
+	case noc.BackendRing:
+		c.Name += "-ring"
+		c.Noc.NumVCs = 4 // request/reply × dateline phase
+		c.Noc.BufDepth = 4
+		c.Noc.RouterStages = 2
+		c.Noc.HalfRouterStages = 2 // unused (no half-routers), kept valid
+	case noc.BackendBaseJump:
+		c.Name += "-bj"
+		c.Noc.FlitBytes = mem.ReplyBytes // widest packet rides in one flit
+		if mem.WriteRequestBytes > c.Noc.FlitBytes {
+			c.Noc.FlitBytes = mem.WriteRequestBytes
+		}
+		c.Noc.NumVCs = 2 // one VC per traffic class
+		c.Noc.BufDepth = 2
+		c.Noc.RouterStages = 2
+		c.Noc.HalfRouterStages = 2
+	}
+	return c, nil
+}
+
+// Ring returns the Wu-style ring design point: the baseline system on a
+// 36-node bidirectional ring with minimal-buffer 2-port routers.
+func Ring(p workload.Profile) Config {
+	c, err := Baseline(p).WithTopology(noc.BackendRing)
+	if err != nil {
+		panic(err) // Baseline is topology-neutral by construction
+	}
+	c.Name = "Ring"
+	return c
+}
+
+// BaseJump returns the BaseJump-style design point: the baseline system on
+// a single-flit DOR mesh with 64 B channels.
+func BaseJump(p workload.Profile) Config {
+	c, err := Baseline(p).WithTopology(noc.BackendBaseJump)
+	if err != nil {
+		panic(err)
+	}
+	c.Name = "BaseJump"
+	return c
+}
+
 // IdealCapped returns a zero-latency network limited to capFlits accepted
 // flits per interconnect cycle chip-wide (Fig 6).
 func IdealCapped(p workload.Profile, capFlits float64) Config {

@@ -52,6 +52,12 @@ func goldenMatrix() []goldenCase {
 			c.Core.Scheduler = 1 // gpu.SchedGTO without importing gpu here
 			return c
 		}},
+		// Non-mesh topology backends: the same closed-loop system on the
+		// Wu-style ring (dateline VCs, arc-segment shards) and the BaseJump
+		// single-flit DOR mesh (column-band shards), pinned through the
+		// identical serial-vs-sharded matrix.
+		{"ring", func() Config { return Ring(hh).ScaleWork(goldenScale) }},
+		{"basejump", func() Config { return BaseJump(hh).ScaleWork(goldenScale) }},
 	}
 }
 
@@ -64,6 +70,8 @@ var goldenDigests = map[string]string{
 	"multiport-mc":    "e917e230040d206fb4bb39615daeb19934543aff21a2de7818d39ddffbea3fe5",
 	"faults-on":       "97847ca5ce152c9f81a316216a962a51d653cb447b99055b9276ac0dbef77d55",
 	"gto-1cycle":      "db76eefa868c75cd2876fed07c006084bd5cf30c63cc972fa965b11ec89a00d3",
+	"ring":            "51e4b0e39959fe1bc680344dd50762ead988123e32f4179b1857b47490d2c992",
+	"basejump":        "1ad401730d4b84114e72652da7d59ec1d2a707ab764f70715b72a84ee896392b",
 }
 
 // digestRun hashes everything observable about a seeded run: scalar results

@@ -75,7 +75,7 @@ type System struct {
 	cfg       Config
 	sched     *timing.Scheduler
 	net       noc.Network
-	topo      *noc.Topology
+	backend   noc.Backend
 	mapper    *addr.Mapper
 	cores     []*gpu.Core
 	coreNodes []noc.NodeID
@@ -113,7 +113,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.net, s.topo = m, m.Topology()
+		s.net, s.backend = m, m.Backend()
 	case NetDouble, NetDoubleBalanced:
 		build := noc.NewDouble
 		if cfg.Net == NetDoubleBalanced {
@@ -123,7 +123,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.net, s.topo = d, d.Subnet(noc.ClassRequest).Topology()
+		s.net, s.backend = d, d.Subnet(noc.ClassRequest).Backend()
 	case NetPerfect, NetIdealCapped:
 		capFlits := 0.0
 		if cfg.Net == NetIdealCapped {
@@ -133,12 +133,16 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Node roles come from a plain topology (half-routers irrelevant).
-		topo, err := noc.NewTopology(cfg.Noc.Width, cfg.Noc.Height, false, cfg.Noc.MCs)
+		// Node roles come from a routing-neutral backend of the configured
+		// topology (half-routers irrelevant on an ideal network).
+		role := cfg.Noc
+		role.Checkerboard = false
+		role.Routing = noc.RoutingDOR
+		backend, err := noc.BuildBackend(role)
 		if err != nil {
 			return nil, err
 		}
-		s.net, s.topo = n, topo
+		s.net, s.backend = n, backend
 	default:
 		return nil, fmt.Errorf("core: unknown network kind %v", cfg.Net)
 	}
@@ -153,7 +157,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	s.coreOf = make(map[noc.NodeID]int)
-	computeNodes := s.topo.ComputeNodes()
+	computeNodes := s.backend.ComputeNodes()
 	for i, node := range computeNodes {
 		gen, err := workload.NewGenerator(cfg.Workload, i, len(computeNodes), cfg.Seed)
 		if err != nil {
@@ -170,7 +174,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s.coreQuiet = make([]bool, len(s.cores))
 
 	s.mcOf = make(map[noc.NodeID]*mem.MCNode)
-	for _, node := range s.topo.MCs() {
+	for _, node := range s.backend.MCs() {
 		mc, err := mem.New(cfg.Mem, node, s.mapper)
 		if err != nil {
 			return nil, err

@@ -31,9 +31,9 @@ func TestAllExperimentsRun(t *testing.T) {
 		}
 	}
 	// The All() helper must cover every ID except itself.
-	if got := len(s.All()); got != len(IDs())-2 {
-		// All() runs the paper-order experiments; ablation and resilience
-		// are extras.
-		t.Errorf("All() returned %d reports, want %d", got, len(IDs())-2)
+	if got := len(s.All()); got != len(IDs())-3 {
+		// All() runs the paper-order experiments; ablation, resilience and
+		// the backend shootout are extras.
+		t.Errorf("All() returned %d reports, want %d", got, len(IDs())-3)
 	}
 }

@@ -111,8 +111,8 @@ func TestByIDAndIDs(t *testing.T) {
 	if !strings.Contains(rep.String(), "Baseline") {
 		t.Error("table6 missing baseline row")
 	}
-	if len(IDs()) != 17 {
-		t.Errorf("IDs() lists %d experiments, want 17", len(IDs()))
+	if len(IDs()) != 18 {
+		t.Errorf("IDs() lists %d experiments, want 18", len(IDs()))
 	}
 }
 

@@ -103,6 +103,8 @@ func (s *Suite) ByID(id string) (*Report, error) {
 		return s.Ablations(), nil
 	case "resilience":
 		return s.Resilience(), nil
+	case "shootout":
+		return s.Shootout(), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }
@@ -111,5 +113,5 @@ func (s *Suite) ByID(id string) (*Report, error) {
 func IDs() []string {
 	return []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table6", "headline",
-		"ablation", "resilience"}
+		"ablation", "resilience", "shootout"}
 }

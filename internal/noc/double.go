@@ -36,6 +36,9 @@ func newDouble(cfg Config, balanced bool) (*Double, error) {
 	if cfg.FlitBytes%2 != 0 {
 		return nil, fmt.Errorf("noc: cannot slice odd channel width %d", cfg.FlitBytes)
 	}
+	if cfg.Topology.singleFlit() {
+		return nil, fmt.Errorf("noc: cannot channel-slice the single-flit %s backend (half-width flits could no longer carry a packet)", cfg.Topology)
+	}
 	// The slices are independent networks, so a shard budget of S splits
 	// into S/2-shard groups ticking concurrently (tickAsync overlaps the
 	// slices; each mesh further clamps its own count). The two independent

@@ -98,7 +98,7 @@ func (ni *netIface) startWrite(port int, cycle uint64) {
 		q.Pop() // the packet stays counted in pend until its writer finishes
 		ni.classRR = (int(class) + 1) % int(NumClasses)
 		pkt.InjectedAt = cycle
-		pkt.flits = flitCount(pkt.Bytes, ni.net.cfg.FlitBytes)
+		pkt.flits = ni.net.flitsFor(pkt.Bytes)
 		ni.net.stats.InjectedPackets[ni.node]++
 		ni.net.stats.InjectedBytes[ni.node] += uint64(pkt.Bytes)
 		w := &ni.writers[port][vc]

@@ -60,13 +60,45 @@ func BenchmarkShardedKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendKernel measures the cycle kernel across the topology
+// backends at two scales — the paper's 6×6 and a 12×12 stress geometry —
+// under the same closed-loop request/reply protocol. Identical harness,
+// identical load, so the rows compare what a tick costs on each substrate
+// (and keep the 0 allocs/op gate honest on every backend's hot path).
+func BenchmarkBackendKernel(b *testing.B) {
+	backendCfg := func(kind BackendKind, w, h int) Config {
+		cfg := DefaultConfig()
+		if w != 6 || h != 6 {
+			cfg.Width, cfg.Height = w, h
+			cfg.MCs = TopBottomPlacement(w, h, 8)
+		}
+		switch kind {
+		case BackendRing:
+			cfg.Topology = BackendRing
+			cfg.NumVCs, cfg.BufDepth, cfg.RouterStages = 4, 4, 2
+		case BackendBaseJump:
+			cfg.Topology = BackendBaseJump
+			cfg.FlitBytes, cfg.NumVCs, cfg.BufDepth, cfg.RouterStages = 64, 2, 2, 2
+		}
+		return cfg
+	}
+	for _, kind := range []BackendKind{BackendMesh, BackendRing, BackendBaseJump} {
+		for _, dim := range []struct{ w, h int }{{6, 6}, {12, 12}} {
+			cfg := backendCfg(kind, dim.w, dim.h)
+			b.Run(fmt.Sprintf("%s-%dx%d", kind, dim.w, dim.h), func(b *testing.B) {
+				benchCycleKernel(b, cfg, 4)
+			})
+		}
+	}
+}
+
 // benchCycleKernel drives cfg with `outstanding` requests in flight per
 // compute node, warms the queues to steady state, then times b.N ticks.
 func benchCycleKernel(b *testing.B, cfg Config, outstanding int) {
 	m := MustNewMesh(cfg)
-	topo := m.Topology()
-	comp := topo.ComputeNodes()
-	mcs := topo.MCs()
+	backend := m.Backend()
+	comp := backend.ComputeNodes()
+	mcs := backend.MCs()
 	var pool PacketPool
 	inflight := make([]int, len(comp))
 	// Reply backlog per MC, preallocated to the in-flight bound so the
@@ -139,9 +171,9 @@ func benchCycleKernel(b *testing.B, cfg Config, outstanding int) {
 // traffic, then ticks on a draining (and eventually empty) network.
 func benchDrainTail(b *testing.B, cfg Config) {
 	m := MustNewMesh(cfg)
-	topo := m.Topology()
-	comp := topo.ComputeNodes()
-	mcs := topo.MCs()
+	backend := m.Backend()
+	comp := backend.ComputeNodes()
+	mcs := backend.MCs()
 	var pool PacketPool
 	for i, c := range comp {
 		p := pool.Get()
@@ -150,7 +182,7 @@ func benchDrainTail(b *testing.B, cfg Config) {
 		m.TryInject(p)
 	}
 	drain := func() {
-		for _, n := range topo.MCs() {
+		for _, n := range backend.MCs() {
 			for _, pkt := range m.Delivered(n) {
 				pool.Put(pkt)
 			}

@@ -53,7 +53,7 @@ func TestMeshConfigValidation(t *testing.T) {
 
 func TestVCPlan(t *testing.T) {
 	// Baseline: 2 VCs split by class.
-	p, err := buildVCPlan(2, true, RoutingDOR)
+	p, err := buildVCPlan(2, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestVCPlan(t *testing.T) {
 		t.Errorf("reply VCs = %v, want [1]", got)
 	}
 	// CR single network: 4 VCs = class × phase.
-	p, err = buildVCPlan(4, true, RoutingCheckerboard)
+	p, err = buildVCPlan(4, true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +84,11 @@ func TestVCPlan(t *testing.T) {
 		}
 	}
 	// CR needs 4 VCs on a single class-split network.
-	if _, err := buildVCPlan(2, true, RoutingCheckerboard); err == nil {
+	if _, err := buildVCPlan(2, true, 2); err == nil {
 		t.Error("2 VCs accepted for split CR")
 	}
 	// Double-network slice: CR with 2 VCs, no class split.
-	p, err = buildVCPlan(2, false, RoutingCheckerboard)
+	p, err = buildVCPlan(2, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

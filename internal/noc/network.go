@@ -113,8 +113,12 @@ func (s *NetStats) AcceptedBytesPerCycle() float64 {
 	return float64(total) / float64(s.Cycles) / float64(len(s.InjectedBytes))
 }
 
-// Config parameterizes a mesh network (defaults are Table III).
+// Config parameterizes a network (defaults are Table III).
 type Config struct {
+	// Topology selects the interconnect backend; the zero value is the 2D
+	// mesh. Width×Height always names the node count; the ring backend
+	// arranges those nodes in id order around a circle.
+	Topology         BackendKind
 	Width, Height    int
 	FlitBytes        int
 	NumVCs           int
@@ -134,9 +138,10 @@ type Config struct {
 	Seed             uint64
 	Fault            fault.Config // fault injection + health monitoring policy
 
-	// Shards partitions the mesh into column bands that tick on parallel
-	// worker goroutines (see shard.go). 0 or 1 runs the serial kernel; any
-	// value is clamped to [1, Width], and fault injection forces 1 (the
+	// Shards partitions the network into contiguous bands (mesh/basejump:
+	// column bands; ring: arc segments) that tick on parallel worker
+	// goroutines (see shard.go). 0 or 1 runs the serial kernel; any value
+	// is clamped to the backend's MaxShards, and fault injection forces 1 (the
 	// injector's RNG draw order cannot be preserved across shards). Results
 	// are bit-identical for every value, so Shards never needs to appear in
 	// cache keys or config names.
@@ -174,13 +179,13 @@ type vcPlan struct {
 	sets [NumClasses][2][]int
 }
 
-func buildVCPlan(numVCs int, split bool, algo RoutingAlgo) (vcPlan, error) {
+func buildVCPlan(numVCs int, split bool, phases int) (vcPlan, error) {
 	div := 1
 	if split {
 		div *= 2
 	}
-	if algo != RoutingDOR {
-		div *= 2 // two-phase algorithms need XY and YX VC classes
+	if phases > 1 {
+		div *= 2 // two-phase routing needs disjoint phase VC classes
 	}
 	if numVCs < div || numVCs%div != 0 {
 		return vcPlan{}, fmt.Errorf("noc: %d VCs not divisible across %d class/phase sets", numVCs, div)
@@ -193,7 +198,7 @@ func buildVCPlan(numVCs int, split bool, algo RoutingAlgo) (vcPlan, error) {
 			if split {
 				base += class * (numVCs / 2)
 			}
-			if algo != RoutingDOR {
+			if phases > 1 {
 				base += phase * per
 			}
 			set := make([]int, per)
@@ -214,12 +219,16 @@ func (p *vcPlan) allowed(class TrafficClass, yxPhase bool) []int {
 	return p.sets[class][phase]
 }
 
-// Mesh is the cycle-level 2D-mesh network.
+// Mesh is the cycle-level network engine. Despite the historical name it
+// serves every topology backend (mesh, ring, basejump): routers, VCs,
+// credits, NIs, sharding and fault injection are backend-agnostic, and the
+// backend contributes geometry and routing.
 type Mesh struct{ meshNet }
 
 type meshNet struct {
 	cfg       Config
-	topo      *Topology
+	backend   Backend
+	topo      *Topology // mesh geometry; nil for non-mesh backends
 	vcs       vcPlan
 	routers   []*router
 	nis       []*netIface
@@ -276,17 +285,11 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	if cfg.SrcQueueCap <= 0 || cfg.EjQueueCap <= 0 {
 		return nil, fmt.Errorf("noc: queue capacities must be positive")
 	}
-	if cfg.Routing == RoutingCheckerboard && !cfg.Checkerboard {
-		return nil, fmt.Errorf("noc: checkerboard routing requires a checkerboard mesh")
-	}
-	if cfg.Routing == RoutingROMM && cfg.Checkerboard {
-		return nil, fmt.Errorf("noc: ROMM turns anywhere and needs full routers")
-	}
-	topo, err := NewTopology(cfg.Width, cfg.Height, cfg.Checkerboard, cfg.MCs)
+	backend, err := BuildBackend(cfg)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildVCPlan(cfg.NumVCs, cfg.SplitClasses, cfg.Routing)
+	plan, err := buildVCPlan(cfg.NumVCs, cfg.SplitClasses, backend.Phases())
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +298,10 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	}
 	m := &Mesh{}
 	n := &m.meshNet
-	n.cfg, n.topo, n.vcs, n.rng = cfg, topo, plan, xrand.New(cfg.Seed)
+	n.cfg, n.backend, n.vcs, n.rng = cfg, backend, plan, xrand.New(cfg.Seed)
+	if mb, ok := backend.(interface{ topology() *Topology }); ok {
+		n.topo = mb.topology()
+	}
 	if cfg.Fault.Enabled() {
 		n.fs = newFaultState(cfg.Fault)
 	}
@@ -310,7 +316,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			n.auditEvery = cfg.Fault.WatchdogCycles / 4
 		}
 	}
-	nNodes := topo.NumNodes()
+	nNodes := backend.NumNodes()
 	n.stats.InjectedFlits = make([]uint64, nNodes)
 	n.stats.InjectedPackets = make([]uint64, nNodes)
 	n.stats.InjectedBytes = make([]uint64, nNodes)
@@ -321,7 +327,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		node := NodeID(id)
 		p := routerParams{
 			node:     node,
-			half:     topo.IsHalf(node),
+			half:     backend.IsHalf(node),
 			numVCs:   cfg.NumVCs,
 			bufDepth: cfg.BufDepth,
 			nInj:     1,
@@ -334,7 +340,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		if p.half {
 			p.stages = cfg.HalfRouterStages
 		}
-		if topo.IsMC(node) {
+		if backend.IsMC(node) {
 			p.nInj = cfg.MCInjPorts
 			p.nEj = cfg.MCEjPorts
 		}
@@ -347,7 +353,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	for id := 0; id < nNodes; id++ {
 		r := n.routers[id]
 		for d := Port(0); d < numDirs; d++ {
-			nb := topo.Neighbor(NodeID(id), d)
+			nb := backend.Neighbor(NodeID(id), d)
 			if nb < 0 {
 				continue
 			}
@@ -380,11 +386,26 @@ func MustNewMesh(cfg Config) *Mesh {
 	return m
 }
 
-// Topology exposes the mesh geometry.
+// Topology exposes the mesh geometry, or nil for backends without one
+// (ring). Prefer Backend for topology-agnostic callers.
 func (n *meshNet) Topology() *Topology { return n.topo }
+
+// Backend exposes the topology backend.
+func (n *meshNet) Backend() Backend { return n.backend }
 
 // FlitBytes returns the channel flit size.
 func (n *meshNet) FlitBytes() int { return n.cfg.FlitBytes }
+
+// flitsFor sizes a payload in flits, enforcing the single-flit contract of
+// backends whose packets must fit one channel word (basejump).
+func (n *meshNet) flitsFor(bytes int) int {
+	f := flitCount(bytes, n.cfg.FlitBytes)
+	if f > 1 && n.backend.SingleFlit() {
+		panic(fmt.Sprintf("noc: %d-byte packet exceeds the %d-byte single-flit channel of the %s backend",
+			bytes, n.cfg.FlitBytes, n.backend.Kind()))
+	}
+	return f
+}
 
 // Cycle returns the elapsed cycles.
 func (n *meshNet) Cycle() uint64 { return n.cycle }
@@ -406,13 +427,13 @@ func (n *meshNet) CanInject(node NodeID, class TrafficClass) bool {
 // TryInject offers p at p.Src. On success the network owns the packet until
 // it reappears in Delivered(p.Dst).
 func (n *meshNet) TryInject(p *Packet) bool {
-	if p.Src < 0 || int(p.Src) >= n.topo.NumNodes() || p.Dst < 0 || int(p.Dst) >= n.topo.NumNodes() {
+	if p.Src < 0 || int(p.Src) >= n.backend.NumNodes() || p.Dst < 0 || int(p.Dst) >= n.backend.NumNodes() {
 		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst))
 	}
 	if !n.CanInject(p.Src, p.Class) {
 		return false
 	}
-	yx, inter, err := planRouteScratch(n.topo, n.cfg.Routing, p.Src, p.Dst, n.rng, n.interScratch)
+	yx, inter, err := n.backend.PlanRoute(p.Src, p.Dst, n.rng, n.interScratch)
 	if err != nil {
 		panic(err)
 	}

@@ -113,7 +113,7 @@ func (fs *faultState) reinject(n *meshNet, x *xfer) bool {
 		OfferedAt: orig.OfferedAt,
 		lid:       orig.lid,
 	}
-	yx, inter, err := planRouteScratch(n.topo, n.cfg.Routing, clone.Src, clone.Dst, n.rng, n.interScratch)
+	yx, inter, err := n.backend.PlanRoute(clone.Src, clone.Dst, n.rng, n.interScratch)
 	if err != nil {
 		panic(err) // the original routed; a replan cannot fail
 	}

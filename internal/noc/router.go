@@ -232,7 +232,7 @@ func (r *router) routeCompute(cycle uint64) {
 					r.p.node, head.Pkt.ID, head.Seq))
 			}
 			pkt := head.Pkt
-			out, eject := nextHop(r.net.topo, r.p.node, pkt)
+			out, eject := r.net.backend.NextHop(r.p.node, pkt)
 			outPort := int(out)
 			if eject {
 				outPort = int(numDirs) + r.ejRR

@@ -7,20 +7,22 @@ import (
 	"repro/internal/ring"
 )
 
-// The sharded cycle kernel partitions the mesh into column bands and runs
-// each band's channel/NI/router phases on its own worker goroutine, with a
-// serial epilogue at the cycle boundary. Determinism is the design
-// constraint: a sharded run must be bit-identical to the serial kernel.
-// The scheme rests on three structural facts:
+// The sharded cycle kernel partitions the network into the backend's
+// contiguous bands — column bands on the mesh and basejump backends, arc
+// segments on the ring — and runs each band's channel/NI/router phases on
+// its own worker goroutine, with a serial epilogue at the cycle boundary.
+// Determinism is the design constraint: a sharded run must be bit-identical
+// to the serial kernel. The scheme rests on three structural facts:
 //
 //  1. Single writer per channel. Every flit channel and credit channel has
 //     exactly one sending router, which sends at most one event per cycle
 //     (one switch-allocation grant per output port; one credit per input
 //     port). Channel queues are owned by the DESTINATION router's shard,
 //     which is the only code that pops them (the deliver phases).
-//  2. Column bands only share east/west links. North/south channels stay
-//     inside a band, so cross-shard traffic is exactly the E/W links that
-//     straddle a band edge. A cross-shard send is buffered in the sending
+//  2. Bands only share boundary links. On the mesh, north/south channels
+//     stay inside a column band, so cross-shard traffic is exactly the E/W
+//     links that straddle a band edge; on the ring, it is the pair of links
+//     at each arc boundary. A cross-shard send is buffered in the sending
 //     shard's outgoing mailbox ring instead of touching the foreign queue;
 //     the serial epilogue drains the mailboxes into the owning queues in
 //     shard order. Channel latency means every sent event is due no earlier
@@ -101,26 +103,24 @@ type meshShard struct {
 	task shardTask
 }
 
-// shardOfX maps a column to its band: band k covers columns
-// [k*W/S, (k+1)*W/S), the near-equal split.
-func (n *meshNet) shardOfX(x int) int { return x * len(n.shards) / n.cfg.Width }
-
-// shardOf maps a node to its owning shard (NodeID is row-major: y*W+x).
+// shardOf maps a node to its owning shard via the backend's partition
+// (mesh/basejump: column bands; ring: arc segments).
 func (n *meshNet) shardOf(node NodeID) *meshShard {
-	return n.shards[n.shardOfX(int(node)%n.cfg.Width)]
+	return n.shards[n.backend.ShardOf(node, len(n.shards))]
 }
 
-// buildShards partitions the mesh into column bands and assigns component
-// ownership. requested is clamped to [1, Width]; fault injection forces one
-// shard because the injector's single RNG stream draws during flit/credit
-// sends and deliveries, whose interleaving across shards is not defined.
+// buildShards partitions the network into the backend's contiguous bands and
+// assigns component ownership. requested is clamped to [1, MaxShards]; fault
+// injection forces one shard because the injector's single RNG stream draws
+// during flit/credit sends and deliveries, whose interleaving across shards
+// is not defined.
 func (n *meshNet) buildShards(requested int) {
 	s := requested
 	if s < 1 {
 		s = 1
 	}
-	if s > n.cfg.Width {
-		s = n.cfg.Width
+	if max := n.backend.MaxShards(); s > max {
+		s = max
 	}
 	if n.fs != nil {
 		s = 1

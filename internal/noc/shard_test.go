@@ -35,7 +35,7 @@ func TestShardPartitionInvariants(t *testing.T) {
 	}
 	for id, r := range n.routers {
 		x := id % n.cfg.Width
-		if want := n.shards[n.shardOfX(x)]; r.sh != want {
+		if want := n.shards[n.backend.ShardOf(NodeID(id), len(n.shards))]; r.sh != want {
 			t.Fatalf("router %d (x=%d) in shard %d, want %d", id, x, r.sh.idx, want.idx)
 		}
 	}

@@ -22,6 +22,9 @@ func FuzzCanonicalSpec(f *testing.F) {
 	f.Add([]byte(`{"configs":["nope"],"benchmarks":["MUM"]}`))
 	f.Add([]byte(`{"scale":-1e308,"seed":18446744073709551615}`))
 	f.Add([]byte(`{"fault_rate":0.5,"fault_seed":3,"configs":["CP-CR"],"benchmarks":["AES"]}`))
+	f.Add([]byte(`{"configs":["TB-DOR"],"benchmarks":["MUM"],"topology":"ring"}`))
+	f.Add([]byte(`{"configs":["Ring","BaseJump"],"benchmarks":["BIN"],"topology":"mesh"}`))
+	f.Add([]byte(`{"configs":["CP-CR"],"benchmarks":["MUM"],"topology":"basejump"}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var spec Spec

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/noc"
 	"repro/internal/runner"
 )
 
@@ -559,5 +560,63 @@ func TestSpecCanonicalAndID(t *testing.T) {
 	}
 	if fmt.Sprintf("%s|%s", cfgs[0].Name, cfgs[0].Workload.Abbr) != "CP-CR|BIN" {
 		t.Errorf("BuildConfigs order not canonical: first is %s/%s", cfgs[0].Name, cfgs[0].Workload.Abbr)
+	}
+}
+
+// TestSpecTopology pins the topology field's contract: "mesh" normalizes
+// away so job IDs minted before the field existed stay valid, ring and
+// basejump re-target only topology-neutral design points, and the built
+// configs carry the selected backend.
+func TestSpecTopology(t *testing.T) {
+	old, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}, Topology: "mesh"}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.ID() != old.ID() {
+		t.Errorf("explicit mesh changes the job ID: %s vs %s", mesh.ID(), old.ID())
+	}
+	ring, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}, Topology: "ring"}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.ID() == old.ID() {
+		t.Error("ring and mesh jobs share a content address")
+	}
+	cfgs, err := ring.BuildConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].Name != "TB-DOR-ring" || cfgs[0].Noc.Topology != noc.BackendRing {
+		t.Errorf("ring spec built %q with topology %v", cfgs[0].Name, cfgs[0].Noc.Topology)
+	}
+	if err := cfgs[0].Validate(); err != nil {
+		t.Errorf("ring config invalid: %v", err)
+	}
+	if _, err := (Spec{Configs: []string{"CP-CR"}, Benchmarks: []string{"MUM"}, Topology: "ring"}).Canonical(100); err == nil {
+		t.Error("mesh-only CP-CR accepted with ring topology")
+	}
+	if _, err := (Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}, Topology: "torus"}).Canonical(100); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	named, err := Spec{Configs: []string{"BaseJump", "Ring"}, Benchmarks: []string{"MUM"}}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncfgs, err := named.BuildConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range ncfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("named design point %s invalid: %v", cfg.Name, err)
+		}
+	}
+	if ncfgs[0].Noc.Topology != noc.BackendBaseJump || ncfgs[1].Noc.Topology != noc.BackendRing {
+		t.Errorf("named design points built wrong backends: %v, %v",
+			ncfgs[0].Noc.Topology, ncfgs[1].Noc.Topology)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/noc"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,30 @@ var designPoints = map[string]func(workload.Profile) core.Config{
 	"Thr.Eff.":       core.ThroughputEffective,
 	"Thr.Eff.(1net)": core.ThroughputEffectiveSingle,
 	"Perfect":        core.Perfect,
+	"Ring":           core.Ring,
+	"BaseJump":       core.BaseJump,
+}
+
+// topologyNeutral lists the design points that carry no topology decision of
+// their own and can therefore be re-targeted by Spec.Topology. The rest bake
+// one in: checkerboard routing and the double network are mesh-only, and the
+// named Ring/BaseJump points already are their topology.
+var topologyNeutral = map[string]bool{
+	"TB-DOR":      true,
+	"2x-TB-DOR":   true,
+	"TB-DOR-1cyc": true,
+	"CP-DOR":      true,
+	"Perfect":     true,
+}
+
+// topologyNeutralNames returns the sorted topology-neutral design points.
+func topologyNeutralNames() []string {
+	names := make([]string, 0, len(topologyNeutral))
+	for n := range topologyNeutral {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // DesignPoints returns the accepted configuration names, sorted.
@@ -76,6 +101,11 @@ type Spec struct {
 	FaultRate float64 `json:"fault_rate,omitempty"`
 	// FaultSeed seeds the injector (only meaningful with FaultRate > 0).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Topology re-targets topology-neutral configs onto another network
+	// backend: "ring" or "basejump". Empty and "mesh" both mean the mesh
+	// default; "mesh" normalizes to empty so job IDs from before this field
+	// existed stay valid.
+	Topology string `json:"topology,omitempty"`
 }
 
 // Request is the POST /v1/runs body: a Spec plus per-request transport
@@ -126,6 +156,21 @@ func (s Spec) Canonical(maxRuns int) (Spec, error) {
 	if out.FaultRate < 0 || out.FaultRate > 1 {
 		return Spec{}, fmt.Errorf("fault_rate %g out of [0, 1]", out.FaultRate)
 	}
+	switch out.Topology {
+	case "mesh":
+		out.Topology = "" // normalize: mesh is the zero value, so old job IDs still match
+	case "", "ring", "basejump":
+	default:
+		return Spec{}, fmt.Errorf("unknown topology %q (want mesh, ring or basejump)", out.Topology)
+	}
+	if out.Topology != "" {
+		for _, name := range out.Configs {
+			if !topologyNeutral[name] {
+				return Spec{}, fmt.Errorf("config %q fixes its own topology; topology %q applies only to %v",
+					name, out.Topology, topologyNeutralNames())
+			}
+		}
+	}
 	if runs := len(out.Configs) * len(out.Benchmarks); runs > maxRuns {
 		return Spec{}, fmt.Errorf("request is %d runs, server caps jobs at %d", runs, maxRuns)
 	}
@@ -159,6 +204,16 @@ func (s Spec) BuildConfigs() ([]core.Config, error) {
 				return nil, err
 			}
 			cfg := build(p)
+			if s.Topology != "" {
+				kind, err := noc.ParseBackendKind(s.Topology)
+				if err != nil {
+					return nil, err
+				}
+				cfg, err = cfg.WithTopology(kind)
+				if err != nil {
+					return nil, err
+				}
+			}
 			if s.Scale != 1 {
 				cfg = cfg.ScaleWork(s.Scale)
 			}

@@ -35,11 +35,30 @@ func openMatrix() []openGolden {
 		cfg.MCs = noc.CheckerboardPlacement(6, 6, 8)
 		return cfg
 	}
+	ringCfg := func() noc.Config {
+		cfg := noc.DefaultConfig()
+		cfg.Topology = noc.BackendRing
+		cfg.NumVCs = 4 // class × dateline phase
+		cfg.BufDepth = 4
+		cfg.RouterStages = 2
+		return cfg
+	}
+	bjCfg := func() noc.Config {
+		cfg := noc.DefaultConfig()
+		cfg.Topology = noc.BackendBaseJump
+		cfg.FlitBytes = 64 // whole reply in one flit
+		cfg.NumVCs = 2
+		cfg.BufDepth = 2
+		cfg.RouterStages = 2
+		return cfg
+	}
 	return []openGolden{
 		{"uniform-low", UniformRandom, 0.02, base},
 		{"uniform-high", UniformRandom, 0.08, base},
 		{"hotspot", Hotspot, 0.04, base},
 		{"uniform-cb", UniformRandom, 0.04, cb},
+		{"uniform-ring", UniformRandom, 0.02, ringCfg},
+		{"uniform-bj", UniformRandom, 0.04, bjCfg},
 	}
 }
 
@@ -48,6 +67,8 @@ var openGoldenDigests = map[string]string{
 	"uniform-high": "30441cffff5917d81ce04f9d9e258d8fcb41ffb3b7ac73cd3b6b9cfa9e2f9a61",
 	"hotspot":      "7bc469d273d16a039b431391b233656b92826f37b54c79cd5fd07944f19fb944",
 	"uniform-cb":   "a04734af6ef791e75c420d3d21a20d3d7231125d2f8a5f823977b5519b16c0c5",
+	"uniform-ring": "1f3a596721767b7e6f491f5f2da0a80fd03c8192832312c93b4044b4702ca816",
+	"uniform-bj":   "06595778788992f3eaa01a4fa076d21f8f6c4cb654dbcd3ad4416978f7b33622",
 }
 
 func digestOpenLoop(res Result, ns *noc.NetStats) string {
@@ -71,10 +92,10 @@ func digestOpenLoop(res Result, ns *noc.NetStats) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// TestOpenLoopGoldenDigests pins the open-loop harness bit-exactly at four
-// seeded operating points, for the serial kernel and under 2- and 4-way
-// column-band sharding — one digest table covers all three, since sharding
-// must never change simulated behaviour.
+// TestOpenLoopGoldenDigests pins the open-loop harness bit-exactly at six
+// seeded operating points (four mesh, one ring, one basejump), for the serial
+// kernel and under 2- and 4-way sharding — one digest table covers all three,
+// since sharding must never change simulated behaviour.
 func TestOpenLoopGoldenDigests(t *testing.T) {
 	record := os.Getenv("GOLDEN_RECORD") != ""
 	for _, og := range openMatrix() {
@@ -83,12 +104,12 @@ func TestOpenLoopGoldenDigests(t *testing.T) {
 			shards := shards
 			t.Run(fmt.Sprintf("%s/shards-%d", og.id, shards), func(t *testing.T) {
 				var last noc.Network
-				runner := NewRunner(func() (noc.Network, *noc.Topology) {
+				runner := NewRunner(func() (noc.Network, noc.Backend) {
 					mc := og.mesh()
 					mc.Shards = shards
 					m := noc.MustNewMesh(mc)
 					last = m
-					return m, m.Topology()
+					return m, m.Backend()
 				})
 				cfg := DefaultConfig()
 				cfg.Pattern = og.pattern

@@ -18,12 +18,12 @@ func TestOpenLoopIdleSkipEquivalence(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/shards-%d", og.id, shards), func(t *testing.T) {
 				run := func(noSkip bool) string {
 					var last noc.Network
-					runner := NewRunner(func() (noc.Network, *noc.Topology) {
+					runner := NewRunner(func() (noc.Network, noc.Backend) {
 						mc := og.mesh()
 						mc.Shards = shards
 						m := noc.MustNewMesh(mc)
 						last = m
-						return m, m.Topology()
+						return m, m.Backend()
 					})
 					cfg := DefaultConfig()
 					cfg.Pattern = og.pattern

@@ -92,20 +92,22 @@ type Result struct {
 
 // Runner drives one network configuration across offered loads.
 type Runner struct {
-	build func() (noc.Network, *noc.Topology)
+	build func() (noc.Network, noc.Backend)
 }
 
 // NewRunner wraps a network constructor. build must return a fresh network
-// (and its topology) on every call so sweeps are independent.
-func NewRunner(build func() (noc.Network, *noc.Topology)) *Runner {
+// (and its topology backend, which supplies node roles) on every call so
+// sweeps are independent.
+func NewRunner(build func() (noc.Network, noc.Backend)) *Runner {
 	return &Runner{build: build}
 }
 
-// NewMeshRunner is a convenience Runner over a mesh config.
+// NewMeshRunner is a convenience Runner over a noc.Config of any topology
+// backend (the name is historical; cfg.Topology may select ring or basejump).
 func NewMeshRunner(cfg noc.Config) *Runner {
-	return NewRunner(func() (noc.Network, *noc.Topology) {
+	return NewRunner(func() (noc.Network, noc.Backend) {
 		m := noc.MustNewMesh(cfg)
-		return m, m.Topology()
+		return m, m.Backend()
 	})
 }
 
@@ -117,10 +119,10 @@ type pendingReply struct {
 
 // Run measures one offered load point.
 func (r *Runner) Run(cfg Config) Result {
-	net, topo := r.build()
+	net, backend := r.build()
 	rng := xrand.New(cfg.Seed)
-	comp := topo.ComputeNodes()
-	mcs := topo.MCs()
+	comp := backend.ComputeNodes()
+	mcs := backend.MCs()
 	if len(mcs) == 0 {
 		panic("traffic: network has no MC nodes")
 	}

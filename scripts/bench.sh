@@ -24,7 +24,7 @@ OUT="${2:-BENCH_$(date +%F).json}"
 	# (…-s1/-s2/-s4) additionally get a derived speedup_vs_s1 metric from
 	# cmd/benchjson (suppressed on single-core hosts, where the ratio would
 	# only measure coordination overhead).
-	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel' -benchmem -benchtime 2000x ./internal/noc/
+	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel|BenchmarkBackendKernel' -benchmem -benchtime 2000x ./internal/noc/
 	# Class-representative figure benchmarks (hm_speedup metrics et al) and
 	# the idle-horizon fast-forward pairs, whose skip rows get a derived
 	# speedup_vs_noskip metric from cmd/benchjson.
