@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/area"
@@ -274,6 +275,78 @@ func BenchmarkIdleSkipOpenLoopDrain(b *testing.B) {
 					b.Fatal("no packets measured")
 				}
 			}
+		})
+	}
+}
+
+// laneManycoreConfig builds the memory-bound manycore family the lane
+// throughput benchmark measures: the paper's 6×6 baseline mesh (28 SIMT
+// cores, 8 top/bottom MCs) with every core running a few warps of pure
+// memory traffic through a deep L2 pipeline. At any instant nearly every
+// core is parked on outstanding fills, but their round trips desynchronise
+// through MC queueing, so the SYSTEM is almost never globally idle — the
+// regime where whole-run idle-skipping (the solo kernel's only lever)
+// rarely fires, while the lane kernel's per-component dormancy elides the
+// ~27 parked cores and idle MC sides individually on every edge.
+func laneManycoreConfig() core.Config {
+	prof := workload.Profile{
+		Name: "ManycoreMemBound", Abbr: "MCMB", Class: "HH",
+		Warps: 12, InstrsPerWarp: 28,
+		MemFraction: 1.0, WriteFraction: 0, LinesPerMemInstr: 1,
+		ActiveThreads: 32, WorkingSetKB: 64,
+		Sequential: 1.0, Reuse: 0,
+	}
+	cfg := core.Baseline(prof)
+	cfg.Name = "Lane-Manycore-MemBound"
+	// 1-cycle routers and line-sized flits (both §III-C design points) keep
+	// the busy fraction of each round trip small, as in the idle-skip
+	// family: the benchmark isolates how the two kernels spend the PARKED
+	// cycles, not router pipeline throughput.
+	cfg.Noc.RouterStages = 1
+	cfg.Noc.HalfRouterStages = 1
+	cfg.Noc.FlitBytes = 64
+	cfg.Mem.L2Latency = 256
+	return cfg
+}
+
+// BenchmarkLaneThroughput measures per-seed throughput of the lane-batched
+// kernel on the memory-bound manycore family: one op runs L seeds of the
+// same configuration, solo back-to-back at L=1 and through core.RunLanes at
+// L=4. Sub-benchmark names end in -l<N> so cmd/benchjson derives a
+// per-seed speedup_vs_l1 metric (serial ns × L / lane ns). Unlike the
+// sharded speedups this holds on any host: lane batching is single-threaded
+// work elision (per-component dormancy), not parallelism. Results are
+// bit-identical between the rows (TestGoldenDigestsLanes pins it).
+func BenchmarkLaneThroughput(b *testing.B) {
+	const batch = 4
+	for _, lanes := range []int{1, batch} {
+		b.Run(fmt.Sprintf("manycore-l%d", lanes), func(b *testing.B) {
+			cfg := laneManycoreConfig().WithLanes(lanes)
+			seedsPerOp := lanes // one op covers L seeds, so ns/op scales with L
+			var seed uint64 = 1
+			for i := 0; i < b.N; i++ {
+				if lanes == 1 {
+					cfg.Seed = seed
+					res := core.MustRun(cfg)
+					if !res.OK() {
+						b.Fatal(res.Status)
+					}
+					seed++
+					continue
+				}
+				seeds := make([]uint64, seedsPerOp)
+				for j := range seeds {
+					seeds[j] = seed
+					seed++
+				}
+				results, errs := core.RunLanes(nil, cfg, seeds)
+				for j := range results {
+					if errs[j] != nil || !results[j].OK() {
+						b.Fatalf("lane %d: %v (%s)", j, errs[j], results[j].Status)
+					}
+				}
+			}
+			b.ReportMetric(float64(seedsPerOp), "seeds/op")
 		})
 	}
 }

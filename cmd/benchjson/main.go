@@ -82,6 +82,7 @@ func main() {
 	}
 	deriveSpeedups(benches)
 	deriveSkipSpeedups(benches)
+	deriveLaneSpeedups(benches)
 	cap := Capture{
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -235,6 +236,43 @@ func deriveSkipSpeedups(benches []Benchmark) {
 	}
 }
 
+// laneSuffix matches the "-l<N>" lane-count suffix the lane-batched kernel
+// benchmarks put on their sub-benchmark names (after the GOMAXPROCS suffix
+// has been stripped).
+var laneSuffix = regexp.MustCompile(`^(.*)-l(\d+)$`)
+
+// deriveLaneSpeedups adds a speedup_vs_l1 metric to every benchmark named
+// "<base>-l<N>" (N > 1) that has a "<base>-l1" solo baseline in the same
+// capture. Lane benchmarks report ns/op per batch, so the per-seed ratio is
+// base_ns × N / ns: >1 means each seed got cheaper when batched. Unlike the
+// sharded speedups this holds on any host — lane batching amortizes the
+// cycle loop and shares idle-skip horizons across replicas (work elision,
+// not parallelism), so a single-core measurement is real.
+func deriveLaneSpeedups(benches []Benchmark) {
+	solo := make(map[string]float64)
+	for _, b := range benches {
+		if m := laneSuffix.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			solo[m[1]] = b.Metrics["ns/op"]
+		}
+	}
+	for i := range benches {
+		m := laneSuffix.FindStringSubmatch(benches[i].Name)
+		if m == nil || m[2] == "1" {
+			continue
+		}
+		lanes, err := strconv.Atoi(m[2])
+		if err != nil || lanes <= 1 {
+			continue
+		}
+		base, ok := solo[m[1]]
+		ns := benches[i].Metrics["ns/op"]
+		if !ok || base <= 0 || ns <= 0 {
+			continue
+		}
+		benches[i].Metrics["speedup_vs_l1"] = base * float64(lanes) / ns
+	}
+}
+
 // summarize returns one geometric-mean ns/op entry per benchmark family,
 // sorted by family name. The family is the benchmark name with its
 // sub-benchmark path and any shard suffix removed, so e.g.
@@ -271,12 +309,16 @@ func summarize(benches []Benchmark) []FamilySummary {
 	return out
 }
 
-// family strips the sub-benchmark path and shard suffix from a name.
+// family strips the sub-benchmark path and any shard or lane suffix from a
+// name.
 func family(name string) string {
 	if i := strings.IndexByte(name, '/'); i >= 0 {
 		name = name[:i]
 	}
 	if m := shardSuffix.FindStringSubmatch(name); m != nil {
+		name = m[1]
+	}
+	if m := laneSuffix.FindStringSubmatch(name); m != nil {
 		name = m[1]
 	}
 	return name

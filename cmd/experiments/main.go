@@ -40,7 +40,9 @@ func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all 31)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0,
-		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*shards <= GOMAXPROCS)")
+		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*lanes*shards <= GOMAXPROCS)")
+	lanes := flag.Int("lanes", 0,
+		"lane-batch same-config different-seed runs that many at a time through one cycle loop (0/1 = solo; bit-identical results)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
@@ -73,6 +75,7 @@ func main() {
 		Scale:      *scale,
 		Jobs:       *jobs,
 		Shards:     *shards,
+		Lanes:      *lanes,
 		NoIdleSkip: !*idleSkip,
 		RunTimeout: *runTimeout,
 		Retries:    *retries,

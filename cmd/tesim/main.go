@@ -68,7 +68,9 @@ func main() {
 		"deadlock watchdog no-movement window in icnt cycles (0 disables health checks)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0,
-		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*shards <= GOMAXPROCS)")
+		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*lanes*shards <= GOMAXPROCS)")
+	lanes := flag.Int("lanes", 1,
+		"seed replicas per run (-seed, -seed+1, …), lane-batched through one lockstep cycle loop; each replica is bit-identical to a solo run of its seed")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	idleSkip := flag.Bool("idle-skip", true,
@@ -106,9 +108,14 @@ func main() {
 	// "canceled" DNF rows and the partial table still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	nLanes := *lanes
+	if nLanes < 1 {
+		nLanes = 1
+	}
 	pool, err := runner.New(ctx, runner.Options{
 		Jobs:       *jobs,
 		Shards:     *shards,
+		Lanes:      nLanes,
 		RunTimeout: *runTimeout,
 		Retries:    *retries,
 	})
@@ -117,15 +124,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfgs := make([]core.Config, len(profiles))
-	for i, p := range profiles {
+	// Each benchmark expands into nLanes seed replicas (-seed, -seed+1, …);
+	// the pool coalesces the replicas into one lane-batched execution.
+	type runRow struct {
+		prof workload.Profile
+		seed uint64
+	}
+	rows := make([]runRow, 0, len(profiles)*nLanes)
+	cfgs := make([]core.Config, 0, len(profiles)*nLanes)
+	for _, p := range profiles {
 		cfg, err := build(p).WithTopology(kind)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tesim: -topology %s with -config %s: %v\n", kind, *config, err)
 			os.Exit(2)
 		}
 		cfg = cfg.ScaleWork(*scale)
-		cfg.Seed = *seed
 		if strings.ToLower(*sched) == "gto" {
 			cfg.Core.Scheduler = gpu.SchedGTO
 		}
@@ -133,7 +146,13 @@ func main() {
 			cfg = cfg.WithFaults(*faultRate, *faultSeed)
 		}
 		cfg.NoIdleSkip = !*idleSkip
-		cfgs[i] = cfg.WithWatchdog(*watchdog)
+		cfg = cfg.WithWatchdog(*watchdog)
+		for l := 0; l < nLanes; l++ {
+			c := cfg
+			c.Seed = *seed + uint64(l)
+			rows = append(rows, runRow{prof: p, seed: c.Seed})
+			cfgs = append(cfgs, c)
+		}
 	}
 	if err := pprofOut.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "tesim:", err)
@@ -146,8 +165,12 @@ func main() {
 	outs := pool.DoAll(cfgs)
 	pprofOut.Stop() // profile covers the simulations, not the report
 
-	headers := []string{"bench", "config", "IPC", "icnt cycles", "net lat",
-		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status"}
+	headers := []string{"bench", "config"}
+	if nLanes > 1 {
+		headers = append(headers, "seed")
+	}
+	headers = append(headers, "IPC", "icnt cycles", "net lat",
+		"MC stall", "DRAM eff", "L1 hit", "L2 hit", "status")
 	if *faultRate > 0 {
 		headers = append(headers, "retx", "dropped", "avg retries")
 	}
@@ -157,7 +180,8 @@ func main() {
 	tb := stats.NewTable("tesim results", headers...)
 	var ipcs []float64
 	dnf := 0
-	for i, p := range profiles {
+	for i, rr := range rows {
+		p := rr.prof
 		out := outs[i]
 		res := out.Result
 		if !out.OK() {
@@ -181,12 +205,16 @@ func main() {
 		if status == "" {
 			status = "ok"
 		}
-		row := []interface{}{p.Abbr, res.Config, res.IPC, res.IcntCycles, res.AvgNetLatency,
+		row := []interface{}{p.Abbr, res.Config}
+		if nLanes > 1 {
+			row = append(row, rr.seed)
+		}
+		row = append(row, res.IPC, res.IcntCycles, res.AvgNetLatency,
 			fmt.Sprintf("%.1f%%", 100*res.MCStallFraction),
 			fmt.Sprintf("%.2f", res.DRAMEfficiency),
 			fmt.Sprintf("%.2f", res.L1HitRate),
 			fmt.Sprintf("%.2f", res.L2HitRate),
-			status}
+			status)
 		if *faultRate > 0 {
 			row = append(row, res.RetxPackets, res.DroppedPackets, fmt.Sprintf("%.3f", res.AvgRetries))
 		}
@@ -200,7 +228,7 @@ func main() {
 		fmt.Printf("harmonic mean IPC: %.2f\n", stats.HarmonicMean(ipcs))
 	}
 	if dnf > 0 {
-		fmt.Printf("%d of %d run(s) did not finish\n", dnf, len(profiles))
+		fmt.Printf("%d of %d run(s) did not finish\n", dnf, len(rows))
 		os.Exit(1)
 	}
 }

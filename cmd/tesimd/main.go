@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tesimd [-addr host:port] [-store file.jsonl] [-queue-cap N]
-//	       [-jobs N] [-shards K] [-run-timeout d] [-retries N]
+//	       [-jobs N] [-shards K] [-lanes L] [-run-timeout d] [-retries N]
 //	       [-max-runs-per-job N] [-default-deadline d] [-max-deadline d]
 //	       [-drain-timeout d] [-idle-skip]
 //
@@ -50,6 +50,8 @@ func main() {
 	queueCap := flag.Int("queue-cap", service.DefaultQueueCap, "max admitted unfinished jobs before shedding with 429")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "intra-run column-band shards (0 = serial, -1 = auto)")
+	lanes := flag.Int("lanes", 0,
+		"lane-batch a job's same-config different-seed runs (see \"seeds\" in POST /v1/runs; 0/1 = solo, bit-identical results)")
 	runTimeout := flag.Duration("run-timeout", 5*time.Minute, "per-run wall-clock deadline (0 = none)")
 	retries := flag.Int("retries", service.DefaultRetries, "extra attempts for transient DNFs (stall/timeout)")
 	maxRuns := flag.Int("max-runs-per-job", service.DefaultMaxRunsPerJob, "max configs×benchmarks per request")
@@ -73,6 +75,7 @@ func main() {
 		QueueCap:        *queueCap,
 		Jobs:            *jobs,
 		Shards:          *shards,
+		Lanes:           *lanes,
 		RunTimeout:      *runTimeout,
 		Retries:         *retries,
 		MaxRunsPerJob:   *maxRuns,

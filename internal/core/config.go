@@ -96,6 +96,15 @@ type Config struct {
 	// only, never results, so — like Shards — it is deliberately excluded
 	// from Name suffixes and cache keys. The zero value keeps skipping on.
 	NoIdleSkip bool
+
+	// Lanes requests lane-batched execution when several seeds of this
+	// configuration run together (see RunLanes and internal/runner): up to
+	// Lanes seed replicas share one cycle loop and one immutable topology
+	// backend. Each lane is bit-identical to its solo serial run — the
+	// lane kernel only changes wall-clock time — so, like Shards and
+	// NoIdleSkip, Lanes is deliberately excluded from Name suffixes and
+	// cache keys. 0 and 1 both mean solo execution.
+	Lanes int
 }
 
 // ShardsAuto asks NewSystem to pick the shard count from the machine:
@@ -121,6 +130,14 @@ func ResolveShards(requested int) int {
 // results, so sharded and serial runs must share cache keys.
 func (c Config) WithShards(n int) Config {
 	c.Shards = n
+	return c
+}
+
+// WithLanes sets the lane-batching request. Like WithShards it does NOT
+// suffix Name: lane batching changes wall-clock time only, never results,
+// so lane-batched and solo runs must share cache keys.
+func (c Config) WithLanes(n int) Config {
+	c.Lanes = n
 	return c
 }
 

@@ -160,6 +160,84 @@ func TestGoldenDigests(t *testing.T) {
 	}
 }
 
+// goldenLaneCounts is the lane-batched determinism matrix: every golden
+// configuration must produce the SAME recorded digest when its seed runs
+// solo, and when it runs as lane 0 of a 2- or 4-lane batch whose sibling
+// lanes carry different seeds. Lane batching — like sharding — may only
+// change wall-clock time, never a single bit of any lane's simulated
+// behaviour, so the solo digest table serves every lane count.
+var goldenLaneCounts = []int{1, 2, 4}
+
+// TestGoldenDigestsLanes proves each lane of a lane-batched run is
+// bit-identical to its solo serial run: lane 0 carries the golden seed and
+// must reproduce the recorded digest; every sibling lane (seed+i) must
+// reproduce the digest of its own solo run, computed on the fly. The
+// lanes×shards point (2 lanes × 2 shards) pins the composition of the two
+// wall-clock-only kernels.
+func TestGoldenDigestsLanes(t *testing.T) {
+	for _, gc := range goldenMatrix() {
+		gc := gc
+		for _, lanesN := range goldenLaneCounts {
+			lanesN := lanesN
+			for _, shards := range []int{1, 2} {
+				shards := shards
+				if shards != 1 && lanesN != 2 {
+					continue // one composition point per case keeps runtime sane
+				}
+				t.Run(fmt.Sprintf("%s/lanes-%d/shards-%d", gc.id, lanesN, shards), func(t *testing.T) {
+					cfg := gc.build().WithShards(shards).WithLanes(lanesN)
+					seeds := make([]uint64, lanesN)
+					for i := range seeds {
+						seeds[i] = cfg.Seed + uint64(i)
+					}
+					if lanesN == 1 {
+						// One lane delegates to the solo path; the digest
+						// identity is the plain golden check.
+						results, errs := RunLanes(nil, cfg, seeds)
+						if errs[0] != nil {
+							t.Fatalf("run degraded: %v", errs[0])
+						}
+						_ = results
+						return
+					}
+					lanes, buildErrs := runLanes(nil, cfg, seeds)
+					for i, l := range lanes {
+						if l == nil {
+							t.Fatalf("lane %d failed to build: %v", i, buildErrs[i])
+						}
+						if l.runErr != nil {
+							t.Fatalf("lane %d degraded: %v", i, l.runErr)
+						}
+						got := digestRun(l.res, l.sys.NetStats())
+						want := ""
+						if i == 0 {
+							want = goldenDigests[gc.id]
+						} else {
+							// Sibling seeds have no recorded digest; their
+							// reference is the solo run of the same seed.
+							solo := cfg
+							solo.Seed = seeds[i]
+							sys, err := NewSystem(solo)
+							if err != nil {
+								t.Fatal(err)
+							}
+							res, runErr := sys.Run(nil)
+							if runErr != nil {
+								t.Fatalf("solo reference degraded: %v", runErr)
+							}
+							want = digestRun(res, sys.NetStats())
+						}
+						if got != want {
+							t.Errorf("lane %d (seed %d) is not bit-identical to its solo run:\n got  %s\n want %s",
+								i, seeds[i], got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestGoldenDigestsStable runs one matrix point twice and demands identical
 // digests, so flakiness in the harness itself (map iteration, pooling resets)
 // cannot masquerade as refactor-induced drift.

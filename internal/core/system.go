@@ -94,7 +94,12 @@ type System struct {
 }
 
 // NewSystem builds the system for cfg.
-func NewSystem(cfg Config) (*System, error) {
+func NewSystem(cfg Config) (*System, error) { return newSystem(cfg, nil) }
+
+// newSystem builds the system, optionally sharing a prebuilt topology
+// backend (lane-batched seed replicas build geometry and route tables once;
+// see RunLanes). A nil share builds the backend from cfg as usual.
+func newSystem(cfg Config, share noc.Backend) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +114,12 @@ func NewSystem(cfg Config) (*System, error) {
 
 	switch cfg.Net {
 	case NetMesh:
-		m, err := noc.NewMesh(cfg.Noc)
+		var m *noc.Mesh
+		if share != nil {
+			m, err = noc.NewMeshWithBackend(cfg.Noc, share)
+		} else {
+			m, err = noc.NewMesh(cfg.Noc)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -49,6 +49,11 @@ type Options struct {
 	// value so Jobs×Shards never oversubscribes GOMAXPROCS; results are
 	// bit-identical at any shard count.
 	Shards int
+	// Lanes coalesces same-configuration/different-seed runs into
+	// lane-batched executions of that width (see runner.Options.Lanes and
+	// core.RunLanes). Every lane is bit-identical to its solo run, so like
+	// Shards it never enters cache keys; 0 and 1 both disable coalescing.
+	Lanes int
 	// NoIdleSkip forces edge-by-edge stepping instead of idle-horizon
 	// fast-forwarding. Results are bit-identical either way, so like
 	// Shards it never enters cache keys; the zero value keeps skipping on.
@@ -122,6 +127,7 @@ func New(opts Options) (*Suite, error) {
 	pool, err := runner.New(opts.Context, runner.Options{
 		Jobs:       opts.Jobs,
 		Shards:     opts.Shards,
+		Lanes:      opts.Lanes,
 		RunTimeout: opts.RunTimeout,
 		Retries:    opts.Retries,
 		Backoff:    opts.RetryBackoff,

@@ -1,0 +1,134 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// driveLaneProtocol runs the closed-loop request/reply protocol against a
+// single network for `cycles` ticks and returns a digest of its stats.
+func driveLaneProtocol(t *testing.T, m *Mesh, cycles int) string {
+	t.Helper()
+	backend := m.Backend()
+	comp := backend.ComputeNodes()
+	mcs := backend.MCs()
+	var pool PacketPool
+	inflight := make([]int, len(comp))
+	rr := 0
+	for c := 0; c < cycles; c++ {
+		for i, node := range comp {
+			for inflight[i] < 2 {
+				p := pool.Get()
+				p.Src, p.Dst = node, mcs[rr%len(mcs)]
+				p.Class, p.Bytes = ClassRequest, 8
+				p.Line = uint64(i)
+				rr++
+				if !m.TryInject(p) {
+					pool.Put(p)
+					break
+				}
+				inflight[i]++
+			}
+		}
+		for _, mc := range mcs {
+			for _, pkt := range m.Delivered(mc) {
+				r := pool.Get()
+				r.Src, r.Dst = mc, pkt.Src
+				r.Class, r.Bytes = ClassReply, 64
+				r.Line = pkt.Line
+				if !m.TryInject(r) {
+					pool.Put(r)
+				}
+				pool.Put(pkt)
+			}
+		}
+		for _, node := range comp {
+			for _, pkt := range m.Delivered(node) {
+				inflight[pkt.Line]--
+				pool.Put(pkt)
+			}
+		}
+		m.Tick()
+	}
+	st := m.Stats()
+	return fmt.Sprintf("hops=%d inj=%v ej=%v", st.FlitHops, st.InjectedFlits, st.EjectedFlits)
+}
+
+// TestLaneSetMatchesSoloNetworks pins the lane-batched network identity:
+// lane i of a LaneSet, driven by a deterministic protocol, accumulates
+// exactly the stats of a solo network built with Seed+i — sharing one
+// Backend across lanes changes nothing observable.
+func TestLaneSetMatchesSoloNetworks(t *testing.T) {
+	for _, kind := range []BackendKind{BackendMesh, BackendRing, BackendBaseJump} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Topology = kind
+			switch kind {
+			case BackendRing:
+				cfg.NumVCs = 4 // dateline VC classes need the split
+			case BackendBaseJump:
+				cfg.FlitBytes = 64 // single-flit substrate wants line-sized flits
+			}
+			const lanes, cycles = 3, 400
+			ls, err := NewLaneSet(cfg, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < lanes; i++ {
+				got := driveLaneProtocol(t, ls.Lane(i), cycles)
+				solo := cfg
+				solo.Seed = cfg.Seed + uint64(i)
+				ref, err := NewMesh(solo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := driveLaneProtocol(t, ref, cycles)
+				if got != want {
+					t.Errorf("lane %d diverged from its solo network:\n got  %s\n want %s", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLaneSetRetire pins retirement semantics: a retired lane stops ticking
+// (its cycle counter freezes), leaves the live set, drops out of the
+// min-reduced horizon, and stays readable.
+func TestLaneSetRetire(t *testing.T) {
+	ls := MustNewLaneSet(DefaultConfig(), 2)
+	for i := 0; i < 10; i++ {
+		ls.Tick()
+	}
+	ls.Retire(0)
+	ls.Retire(0) // idempotent
+	if ls.LiveCount() != 1 || ls.Live(0) || !ls.Live(1) {
+		t.Fatalf("live set wrong after retire: count=%d live0=%v live1=%v",
+			ls.LiveCount(), ls.Live(0), ls.Live(1))
+	}
+	frozen := ls.Lane(0).Stats().Cycles
+	for i := 0; i < 5; i++ {
+		ls.Tick()
+	}
+	if got := ls.Lane(0).Stats().Cycles; got != frozen {
+		t.Errorf("retired lane still ticking: %d -> %d cycles", frozen, got)
+	}
+	if got := ls.Lane(1).Stats().Cycles; got != frozen+5 {
+		t.Errorf("live lane cycles = %d, want %d", got, frozen+5)
+	}
+	// Both lanes idle: the min-reduced horizon must come from the live lane
+	// only, and SkipAhead must advance only the live lane.
+	ls.SkipAhead(3)
+	if got := ls.Lane(0).Stats().Cycles; got != frozen {
+		t.Errorf("SkipAhead advanced a retired lane to %d cycles", got)
+	}
+	ls.Retire(1)
+	if ls.LiveCount() != 0 {
+		t.Fatalf("live count = %d after retiring all", ls.LiveCount())
+	}
+	if h := ls.NextWorkCycle(); h != NeverCycle {
+		t.Errorf("horizon of empty live set = %d, want NeverCycle", h)
+	}
+	if !ls.Quiet() {
+		t.Error("empty live set should be vacuously quiet")
+	}
+}

@@ -273,6 +273,42 @@ type meshNet struct {
 
 // NewMesh validates cfg and builds the network.
 func NewMesh(cfg Config) (*Mesh, error) {
+	backend, err := BuildBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newMeshNet(cfg, backend)
+}
+
+// NewMeshWithBackend builds a network on a prebuilt backend, so lane-batched
+// seed replicas of one configuration (see core.RunLanes) pay for geometry and
+// route tables once. Backends are immutable at runtime — PlanRoute threads
+// the caller's rng and scratch through — so sharing one across networks is
+// race-free. cfg must describe the same substrate the backend was built from.
+func NewMeshWithBackend(cfg Config, backend Backend) (*Mesh, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("noc: NewMeshWithBackend needs a backend")
+	}
+	if backend.Kind() != cfg.Topology {
+		return nil, fmt.Errorf("noc: backend is %v but config wants %v", backend.Kind(), cfg.Topology)
+	}
+	if got, want := backend.NumNodes(), cfg.Width*cfg.Height; got != want {
+		return nil, fmt.Errorf("noc: backend has %d nodes but config describes %d", got, want)
+	}
+	mcs := backend.MCs()
+	if len(mcs) != len(cfg.MCs) {
+		return nil, fmt.Errorf("noc: backend has %d MCs but config places %d", len(mcs), len(cfg.MCs))
+	}
+	for i, mc := range mcs {
+		if mc != cfg.MCs[i] {
+			return nil, fmt.Errorf("noc: backend MC %d is node %d but config places node %d", i, mc, cfg.MCs[i])
+		}
+	}
+	return newMeshNet(cfg, backend)
+}
+
+// newMeshNet builds the network body on an already-validated backend.
+func newMeshNet(cfg Config, backend Backend) (*Mesh, error) {
 	if cfg.FlitBytes <= 0 || cfg.BufDepth <= 0 || cfg.NumVCs <= 0 {
 		return nil, fmt.Errorf("noc: FlitBytes, BufDepth and NumVCs must be positive")
 	}
@@ -284,10 +320,6 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	}
 	if cfg.SrcQueueCap <= 0 || cfg.EjQueueCap <= 0 {
 		return nil, fmt.Errorf("noc: queue capacities must be positive")
-	}
-	backend, err := BuildBackend(cfg)
-	if err != nil {
-		return nil, err
 	}
 	plan, err := buildVCPlan(cfg.NumVCs, cfg.SplitClasses, backend.Phases())
 	if err != nil {

@@ -40,6 +40,12 @@ import (
 // panicking or flaky substitutes to exercise the isolation machinery.
 type RunFunc func(ctx context.Context, cfg core.Config) (core.Result, error)
 
+// LaneRunFunc executes one lane batch: len(seeds) replicas of cfg differing
+// only in Seed, advanced through a single lockstep cycle loop. The default
+// is core.RunLanes; tests inject substitutes to exercise the coalescing and
+// fallback machinery.
+type LaneRunFunc func(ctx context.Context, cfg core.Config, seeds []uint64) ([]core.Result, []error)
+
 // Options configures a Pool. The zero value is usable: GOMAXPROCS workers,
 // no per-run deadline, no retries, no checkpoint.
 type Options struct {
@@ -54,10 +60,19 @@ type Options struct {
 	// Shards is the default intra-run shard request applied to every
 	// config whose own Shards field is zero (core.ShardsAuto = machine
 	// pick). Whatever the source, the pool caps the effective value with
-	// CapShards so Jobs×Shards worker goroutines never exceed GOMAXPROCS.
-	// Sharding is result-invariant, so it does not participate in cache
-	// keys or checkpoint identity.
+	// CapShards so Jobs×Shards×Lanes worker goroutines never exceed
+	// GOMAXPROCS. Sharding is result-invariant, so it does not participate
+	// in cache keys or checkpoint identity.
 	Shards int
+	// Lanes is the default lane-batch width applied to every config whose
+	// own Lanes field is zero: DoAll/DoAllContext coalesce up to Lanes
+	// same-configuration/different-seed requests into one lane-batched
+	// execution (core.RunLanes) occupying a single worker slot. Lane
+	// batching is result-invariant — every lane is bit-identical to its
+	// solo run — so, like Shards, it does not participate in cache keys or
+	// checkpoint identity: each seed keeps its own Key, cache entry and
+	// journal record. 0 and 1 both disable coalescing.
+	Lanes int
 	// Backoff is the base delay before the first retry; successive
 	// retries double it (capped by MaxBackoff), each with ±50%
 	// deterministic jitter. 0 means DefaultBackoff.
@@ -94,6 +109,8 @@ type Options struct {
 	Persist func(Record) error
 	// Run overrides the simulation entry point (tests only).
 	Run RunFunc
+	// RunLanes overrides the lane-batch entry point (tests only).
+	RunLanes LaneRunFunc
 	// OnDone, when non-nil, receives every freshly executed outcome.
 	// Calls are serialized; cache and journal state are consistent when
 	// it fires.
@@ -185,15 +202,24 @@ func backoffDelay(base, max time.Duration, retry int, jitter *xrand.Rand) time.D
 // core.ShardsAuto (or any negative) resolves to exactly the fair share, so
 // "-jobs 4 -shards auto" on a 16-way box gives each run 4 shards instead of
 // 4×16 runnable goroutines. Zero stays zero: a serial run stays serial.
-// Sharding never changes results, so capping is invisible to cache keys.
-func CapShards(requested, jobs, maxprocs int) int {
+//
+// lanes is the width of the lane batch the run belongs to (1 for a solo
+// run): a batch keeps one shard-worker team per lane alive for its whole
+// duration, so the three-way budget jobs×lanes×shards is what must fit in
+// maxprocs — "-jobs 2 -lanes 4 -shards auto" on a 16-way box gives each
+// lane 2 shards, not 8. Neither sharding nor lane batching changes
+// results, so capping is invisible to cache keys.
+func CapShards(requested, jobs, lanes, maxprocs int) int {
 	if requested == 0 {
 		return 0
 	}
 	if jobs < 1 {
 		jobs = 1
 	}
-	per := maxprocs / jobs
+	if lanes < 1 {
+		lanes = 1
+	}
+	per := maxprocs / (jobs * lanes)
 	if per < 1 {
 		per = 1
 	}
@@ -216,10 +242,11 @@ func Key(cfg core.Config) string {
 // retries, panic isolation and checkpointing. All methods are safe for
 // concurrent use.
 type Pool struct {
-	ctx  context.Context
-	opts Options
-	run  RunFunc
-	sem  chan struct{}
+	ctx      context.Context
+	opts     Options
+	run      RunFunc
+	runLanes LaneRunFunc
+	sem      chan struct{}
 
 	mu         sync.Mutex
 	cache      map[string]Outcome
@@ -258,12 +285,16 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 		ctx:      ctx,
 		opts:     opts,
 		run:      opts.Run,
+		runLanes: opts.RunLanes,
 		sem:      make(chan struct{}, opts.Jobs),
 		cache:    make(map[string]Outcome),
 		inflight: make(map[string]*flight),
 	}
 	if p.run == nil {
 		p.run = core.Run
+	}
+	if p.runLanes == nil {
+		p.runLanes = core.RunLanes
 	}
 	if opts.Checkpoint != "" {
 		if opts.Resume {
@@ -422,19 +453,329 @@ func (p *Pool) DoContext(ctx context.Context, cfg core.Config) Outcome {
 // DoAll fans cfgs out across the worker pool and waits for every outcome;
 // outs[i] corresponds to cfgs[i]. Harnesses use it to warm the cache in
 // parallel before rendering tables serially (and deterministically) from
-// cache hits.
+// cache hits. When lane batching is enabled (Options.Lanes or per-config
+// Lanes >= 2) it coalesces same-configuration/different-seed requests into
+// lane-batched executions; see DoAllContext.
 func (p *Pool) DoAll(cfgs []core.Config) []Outcome {
+	return p.DoAllContext(context.Background(), cfgs)
+}
+
+// laneWidth resolves the effective lane-batch width for one config: the
+// config's own request, the pool default where the config is silent, floored
+// at one (solo).
+func (p *Pool) laneWidth(cfg core.Config) int {
+	w := cfg.Lanes
+	if w == 0 {
+		w = p.opts.Lanes
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// laneGroupKey identifies configs that may share a lane batch: the cache
+// identity (see Key) minus the seed. Configs in one group are identical
+// simulations by the Key contract — anything that changes results must also
+// change Name — so RunLanes may legally replicate one representative across
+// the group's seeds.
+func laneGroupKey(cfg core.Config) string {
+	return fmt.Sprintf("%s|%s|i%d", cfg.Name, cfg.Workload.Abbr, cfg.Workload.InstrsPerWarp)
+}
+
+// DoAllContext is DoAll bounded by a per-call context, with lane-batch
+// coalescing: requests that differ only in Seed (same lane group) and carry
+// an effective lane width >= 2 are chunked width seeds at a time into single
+// core.RunLanes executions. A chunk occupies ONE worker slot — its lanes
+// advance round-robin in one goroutine — and every member seed keeps its
+// solo identity end to end: its own cache Key, its own flight (so concurrent
+// Do/DoContext callers for the same seed share the batched execution), its
+// own journal record and its own Outcome, bit-identical to what a solo run
+// would have produced.
+//
+// Everything the lane path cannot settle falls back to the solo path with
+// its full retry budget: duplicate keys, seeds already in flight elsewhere,
+// leftover chunks of one, and lanes whose verdict is transient-retryable
+// ("stall"/"timeout" with retries configured) — a retryable lane verdict is
+// deliberately NOT published, so the fallback re-executes it instead of
+// serving a DNF that solo execution would have retried away.
+func (p *Pool) DoAllContext(ctx context.Context, cfgs []core.Config) []Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	outs := make([]Outcome, len(cfgs))
+	settled := make([]bool, len(cfgs))
+
+	// Partition: lane-eligible requests group by identity-minus-seed;
+	// everything else (width < 2, duplicate keys) goes straight to the solo
+	// path, where the singleflight cache deduplicates against the batch.
+	groups := make(map[string][]int)
+	var order []string
+	claimed := make(map[string]bool)
+	var solo []int
+	for i, cfg := range cfgs {
+		k := Key(cfg)
+		if p.laneWidth(cfg) < 2 || claimed[k] {
+			solo = append(solo, i)
+			continue
+		}
+		claimed[k] = true
+		gk := laneGroupKey(cfg)
+		if _, ok := groups[gk]; !ok {
+			order = append(order, gk)
+		}
+		groups[gk] = append(groups[gk], i)
+	}
+
 	var wg sync.WaitGroup
-	for i := range cfgs {
+	for _, gk := range order {
+		idxs := groups[gk]
+		width := p.laneWidth(cfgs[idxs[0]])
+		for start := 0; start < len(idxs); start += width {
+			end := start + width
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			chunk := idxs[start:end]
+			if len(chunk) < 2 {
+				solo = append(solo, chunk...) // a lane of one is just a solo run
+				continue
+			}
+			wg.Add(1)
+			go func(chunk []int) {
+				defer wg.Done()
+				p.doLaneChunk(ctx, cfgs, chunk, outs, settled)
+			}(chunk)
+		}
+	}
+	for _, i := range solo {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i] = p.Do(cfgs[i])
+			outs[i] = p.DoContext(ctx, cfgs[i])
+			settled[i] = true
 		}(i)
 	}
 	wg.Wait()
+
+	// Second pass: chunk members the lane path left unsettled (keys that
+	// were already in flight elsewhere, retryable lane verdicts) resolve
+	// through the solo path.
+	var fb sync.WaitGroup
+	for i := range cfgs {
+		if settled[i] {
+			continue
+		}
+		fb.Add(1)
+		go func(i int) {
+			defer fb.Done()
+			outs[i] = p.DoContext(ctx, cfgs[i])
+		}(i)
+	}
+	fb.Wait()
 	return outs
+}
+
+// laneClaim is one seed's stake in a lane chunk: its index in the caller's
+// cfgs slice, its cache key, and the flight registered for it.
+type laneClaim struct {
+	idx int
+	key string
+	fl  *flight
+}
+
+// doLaneChunk executes one lane batch. It claims a flight per member seed
+// (cache and Lookup hits settle immediately; keys already in flight
+// elsewhere drop out and fall back), runs the claimed seeds through one
+// RunLanes call on a single worker slot, and publishes each lane's outcome
+// through exactly the DoContext pipeline: transient classification,
+// durability gate, cache, journal, executed count, OnDone.
+func (p *Pool) doLaneChunk(ctx context.Context, cfgs []core.Config, chunk []int, outs []Outcome, settled []bool) {
+	if ctx.Err() != nil {
+		for _, i := range chunk {
+			outs[i] = canceledOutcome(cfgs[i], Key(cfgs[i]), 0, ctx.Err())
+			settled[i] = true
+		}
+		return
+	}
+
+	runCtx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+
+	var claims []laneClaim
+	p.mu.Lock()
+	for _, i := range chunk {
+		key := Key(cfgs[i])
+		if out, ok := p.cache[key]; ok {
+			out.Cached = true
+			outs[i] = out
+			settled[i] = true
+			continue
+		}
+		if p.opts.Lookup != nil {
+			if rec, ok := p.opts.Lookup(key); ok && rec.Key == key {
+				out := Outcome{Key: key, Result: rec.Result, Attempts: rec.Attempts, Resumed: true}
+				p.cache[key] = out
+				outs[i] = out
+				settled[i] = true
+				continue
+			}
+		}
+		if _, ok := p.inflight[key]; ok {
+			continue // already running elsewhere; the fallback pass waits on it
+		}
+		fl := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		p.inflight[key] = fl
+		claims = append(claims, laneClaim{idx: i, key: key, fl: fl})
+	}
+	p.mu.Unlock()
+	if len(claims) == 0 {
+		return
+	}
+
+	// The chunk caller's context dying withdraws its stake in every claimed
+	// flight. The flights share one cancel, so the batch aborts when ANY
+	// claimed seed loses its last waiter — the lanes advance in lockstep and
+	// cannot be cancelled individually; an aborted lane's verdict is
+	// transient and re-executes on the next request.
+	stop := context.AfterFunc(ctx, func() {
+		for _, c := range claims {
+			p.abandon(c.fl)
+		}
+	})
+	defer stop()
+
+	// One representative config carries the whole batch (the group key
+	// guarantees the members are the same simulation modulo seed). The
+	// shard cap sees the batch's true width: a chunk is one job holding
+	// len(claims) shard-worker teams alive.
+	base := cfgs[claims[0].idx]
+	if base.Shards == 0 {
+		base.Shards = p.opts.Shards
+	}
+	base.Shards = CapShards(base.Shards, p.opts.Jobs, len(claims), runtime.GOMAXPROCS(0))
+	base.Lanes = len(claims)
+	seeds := make([]uint64, len(claims))
+	for j, c := range claims {
+		seeds[j] = cfgs[c.idx].Seed
+	}
+
+	// One worker slot serves the whole batch: the lanes run round-robin in
+	// this goroutine, so a chunk is one job from the scheduler's view.
+	var results []core.Result
+	var errs []error
+	var stack string
+	select {
+	case p.sem <- struct{}{}:
+		if runCtx.Err() == nil {
+			results, errs, stack = p.runLanesOnce(runCtx, base, seeds)
+		}
+		<-p.sem
+	case <-runCtx.Done():
+	}
+
+	for j, c := range claims {
+		var out Outcome
+		if results == nil {
+			out = canceledOutcome(cfgs[c.idx], c.key, 0, runCtx.Err())
+		} else {
+			out = Outcome{Key: c.key, Result: results[j], Attempts: 1, Err: errs[j], Stack: stack}
+		}
+		if final, ok := p.publishLaneOutcome(runCtx, c, out); ok {
+			outs[c.idx] = final
+			settled[c.idx] = true
+		}
+	}
+}
+
+// runLanesOnce executes a single lane-batch attempt with panic isolation
+// and the per-run deadline scaled by the batch width (one loop carries
+// len(seeds) runs' worth of work). Result identity backfill mirrors
+// runOnce, per lane.
+func (p *Pool) runLanesOnce(ctx context.Context, cfg core.Config, seeds []uint64) (results []core.Result, errs []error, stack string) {
+	if p.opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(len(seeds))*p.opts.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack = string(debug.Stack())
+			err := fmt.Errorf("runner: lane batch %s/%s panicked: %v", cfg.Name, cfg.Workload.Abbr, r)
+			results = make([]core.Result, len(seeds))
+			errs = make([]error, len(seeds))
+			for i := range seeds {
+				results[i] = core.Result{Benchmark: cfg.Workload.Abbr, Config: cfg.Name, Status: "panic"}
+				errs[i] = err
+			}
+		}
+	}()
+	results, errs = p.runLanes(ctx, cfg, seeds)
+	for i := range results {
+		if results[i].Benchmark == "" {
+			results[i].Benchmark = cfg.Workload.Abbr
+		}
+		if results[i].Config == "" {
+			results[i].Config = cfg.Name
+		}
+		if errs[i] != nil && (results[i].Status == "" || results[i].Status == "ok") {
+			results[i].Status = errs[i].Error()
+		}
+	}
+	return results, errs, ""
+}
+
+// publishLaneOutcome pushes one lane's outcome through the DoContext
+// publication pipeline, returning the published outcome (persist failure
+// rewrites it to "io_error") and whether it settled the request. False
+// means the flight closed with a gap — a retryable verdict the solo
+// fallback should re-execute with the full retry budget.
+func (p *Pool) publishLaneOutcome(runCtx context.Context, c laneClaim, out Outcome) (Outcome, bool) {
+	transient := (out.Result.Status == "canceled" || out.Result.Status == "timeout") &&
+		runCtx.Err() != nil && p.ctx.Err() == nil
+	// A retryable DNF from a lane has spent only attempt 1 of its budget;
+	// solo execution would have retried it in place. The lockstep loop
+	// cannot re-run one lane, so leave the verdict unpublished and let the
+	// fallback pass re-execute the seed solo.
+	retryLater := !transient && Retryable(out.Result.Status) &&
+		p.opts.Retries > 0 && runCtx.Err() == nil
+
+	durable := !transient && !retryLater &&
+		out.Result.Status != "canceled" && out.Result.Status != "timeout"
+	var persistErr error
+	if durable && p.opts.Persist != nil {
+		p.cbMu.Lock()
+		persistErr = p.opts.Persist(Record{Key: out.Key, Attempts: out.Attempts, Result: out.Result})
+		p.cbMu.Unlock()
+		if persistErr != nil {
+			out.Result.Status = "io_error"
+			out.Err = persistErr
+		}
+	}
+
+	p.mu.Lock()
+	if !transient && !retryLater && persistErr == nil {
+		p.cache[c.key] = out
+	}
+	delete(p.inflight, c.key)
+	if !transient && !retryLater {
+		p.executed++
+		if persistErr == nil {
+			p.appendJournalLocked(out)
+		}
+	}
+	p.mu.Unlock()
+	close(c.fl.done)
+
+	if retryLater {
+		return out, false
+	}
+	if p.opts.OnDone != nil {
+		p.cbMu.Lock()
+		p.opts.OnDone(out)
+		p.cbMu.Unlock()
+	}
+	return out, true
 }
 
 // acquireAndRun takes a worker slot and executes the retry loop under ctx
@@ -491,7 +832,7 @@ func (p *Pool) runOnce(ctx context.Context, cfg core.Config) (res core.Result, e
 	if cfg.Shards == 0 {
 		cfg.Shards = p.opts.Shards
 	}
-	cfg.Shards = CapShards(cfg.Shards, p.opts.Jobs, runtime.GOMAXPROCS(0))
+	cfg.Shards = CapShards(cfg.Shards, p.opts.Jobs, 1, runtime.GOMAXPROCS(0))
 	res, err = p.run(ctx, cfg)
 	if res.Benchmark == "" {
 		res.Benchmark = cfg.Workload.Abbr

@@ -252,28 +252,38 @@ func TestKeyDistinguishesSeedAndScale(t *testing.T) {
 	}
 }
 
-// TestCapShards pins the jobs×shards oversubscription policy: every run
-// gets at most its fair share of GOMAXPROCS, auto resolves to exactly that
-// share, serial stays serial, and no input yields less than one shard.
+// TestCapShards pins the jobs×lanes×shards oversubscription policy: every
+// run gets at most its fair share of GOMAXPROCS — divided across concurrent
+// jobs AND across the lanes of its own batch, each of which keeps a shard
+// team alive — auto resolves to exactly that share, serial stays serial,
+// and no input yields less than one shard.
 func TestCapShards(t *testing.T) {
 	cases := []struct {
-		requested, jobs, maxprocs, want int
+		requested, jobs, lanes, maxprocs, want int
 	}{
-		{0, 4, 16, 0},                // serial stays serial
-		{1, 4, 16, 1},                // modest ask under the share
-		{4, 4, 16, 4},                // exactly the fair share
-		{8, 4, 16, 4},                // over-ask capped to the share
-		{core.ShardsAuto, 4, 16, 4},  // auto = fair share
-		{core.ShardsAuto, 1, 16, 16}, // sole run gets the machine
-		{core.ShardsAuto, 32, 16, 1}, // more jobs than CPUs: 1 each
-		{6, 3, 8, 2},                 // integer fair share (8/3)
-		{2, 0, 8, 2},                 // jobs<1 treated as one run
-		{5, 16, 1, 1},                // single-CPU host: never below 1
+		{0, 4, 1, 16, 0},                // serial stays serial
+		{1, 4, 1, 16, 1},                // modest ask under the share
+		{4, 4, 1, 16, 4},                // exactly the fair share
+		{8, 4, 1, 16, 4},                // over-ask capped to the share
+		{core.ShardsAuto, 4, 1, 16, 4},  // auto = fair share
+		{core.ShardsAuto, 1, 1, 16, 16}, // sole run gets the machine
+		{core.ShardsAuto, 32, 1, 16, 1}, // more jobs than CPUs: 1 each
+		{6, 3, 1, 8, 2},                 // integer fair share (8/3)
+		{2, 0, 8, 2, 1},                 // jobs<1 treated as one run; lanes still divide
+		{5, 16, 1, 1, 1},                // single-CPU host: never below 1
+
+		// The three-way budget: lanes divide the per-job share.
+		{core.ShardsAuto, 2, 4, 16, 2},  // 16 procs / (2 jobs × 4 lanes) = 2 each
+		{8, 1, 4, 16, 4},                // sole batch: 16/4 lanes, over-ask capped
+		{2, 2, 2, 16, 2},                // modest ask under the 4-way share
+		{core.ShardsAuto, 4, 4, 16, 1},  // jobs×lanes saturate the box: 1 each
+		{0, 2, 4, 16, 0},                // serial stays serial in a batch too
+		{core.ShardsAuto, 1, 0, 16, 16}, // lanes<1 treated as solo
 	}
 	for _, c := range cases {
-		if got := CapShards(c.requested, c.jobs, c.maxprocs); got != c.want {
-			t.Errorf("CapShards(%d, %d, %d) = %d, want %d",
-				c.requested, c.jobs, c.maxprocs, got, c.want)
+		if got := CapShards(c.requested, c.jobs, c.lanes, c.maxprocs); got != c.want {
+			t.Errorf("CapShards(%d, %d, %d, %d) = %d, want %d",
+				c.requested, c.jobs, c.lanes, c.maxprocs, got, c.want)
 		}
 	}
 }
@@ -322,7 +332,7 @@ func TestPoolDefaultShards(t *testing.T) {
 	}})
 	p.Do(testCfg(t, "default"))
 	p.Do(testCfg(t, "explicit").WithShards(1))
-	want := CapShards(2, 1, runtime.GOMAXPROCS(0))
+	want := CapShards(2, 1, 1, runtime.GOMAXPROCS(0))
 	if got, _ := seen.Load("default"); got.(int) != want {
 		t.Errorf("default config ran with %v shards, want %d (pool default, capped)", got, want)
 	}

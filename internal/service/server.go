@@ -46,6 +46,11 @@ type Options struct {
 	// Shards is the per-run intra-simulation shard request (see
 	// runner.Options.Shards).
 	Shards int
+	// Lanes coalesces a job's same-config/different-seed runs into
+	// lane-batched executions of that width (see runner.Options.Lanes and
+	// Spec.Seeds). Results are bit-identical to solo runs; 0 and 1 both
+	// disable coalescing.
+	Lanes int
 	// RunTimeout is the per-run wall-clock deadline; 0 disables it.
 	RunTimeout time.Duration
 	// Retries re-attempts transient DNFs; negative means 0, zero means
@@ -65,6 +70,8 @@ type Options struct {
 	FS iofault.FS
 	// Run overrides the simulation entry point (tests only).
 	Run runner.RunFunc
+	// RunLanes overrides the lane-batch entry point (tests only).
+	RunLanes runner.LaneRunFunc
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -166,7 +173,9 @@ func New(opts Options) (*Server, error) {
 		RunTimeout: opts.RunTimeout,
 		Retries:    opts.Retries,
 		Shards:     opts.Shards,
+		Lanes:      opts.Lanes,
 		Run:        opts.Run,
+		RunLanes:   opts.RunLanes,
 		Lookup:     store.Get,
 		// Persist runs BEFORE the pool publishes an outcome to its cache:
 		// the store append is fsynced when it returns, so everything the
@@ -322,28 +331,49 @@ func (s *Server) lookupJob(id string) *Job {
 }
 
 // runJob executes one admitted job: every run fans out through the pool
-// (which bounds real concurrency), under the job's deadline context.
+// (which bounds real concurrency), under the job's deadline context. With
+// lane batching enabled the whole job goes through DoAllContext so
+// same-config multi-seed runs (Spec.Seeds) coalesce into lane batches;
+// per-run progress then lands when the batch settles, and the latency
+// histogram records the amortized per-run cost.
 func (s *Server) runJob(j *Job) {
 	defer s.jobWG.Done()
 	defer s.adm.Release()
 	defer j.cancel()
 	j.start()
-	var wg sync.WaitGroup
-	for i := range j.cfgs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			t0 := time.Now()
-			out := s.pool.DoContext(j.ctx, j.cfgs[i])
+	if s.opts.Lanes >= 2 {
+		t0 := time.Now()
+		outs := s.pool.DoAllContext(j.ctx, j.cfgs)
+		fresh := 0
+		for i, out := range outs {
 			if !out.Cached && !out.Resumed {
-				s.statMu.Lock()
-				s.runLat.Observe(time.Since(t0).Seconds())
-				s.statMu.Unlock()
+				fresh++
 			}
 			j.finishRun(i, out)
-		}(i)
+		}
+		if fresh > 0 {
+			s.statMu.Lock()
+			s.runLat.Observe(time.Since(t0).Seconds() / float64(fresh))
+			s.statMu.Unlock()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range j.cfgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				out := s.pool.DoContext(j.ctx, j.cfgs[i])
+				if !out.Cached && !out.Resumed {
+					s.statMu.Lock()
+					s.runLat.Observe(time.Since(t0).Seconds())
+					s.statMu.Unlock()
+				}
+				j.finishRun(i, out)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	j.finish()
 	status, reason, _, _ := j.snapshot()
 	s.opts.Logf("service: job %s %s%s (%d runs)", j.ID, status, suffixIf(reason), len(j.cfgs))

@@ -620,3 +620,124 @@ func TestSpecTopology(t *testing.T) {
 			ncfgs[0].Noc.Topology, ncfgs[1].Noc.Topology)
 	}
 }
+
+// TestSpecSeeds pins the multi-seed sweep field: seeds sort and deduplicate,
+// a single-element list normalizes into the scalar Seed (so job IDs minted
+// before the field existed stay valid), zero seeds are rejected, the run
+// count multiplies by the seed count, and BuildConfigs emits the seeds of
+// one (config, benchmark) pair adjacently — the shape lane coalescing wants.
+func TestSpecSeeds(t *testing.T) {
+	old, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}, Seed: 5}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"}, Seeds: []uint64{5}}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.ID() != old.ID() {
+		t.Errorf("seeds [5] and seed 5 address differently: %s vs %s", single.ID(), old.ID())
+	}
+	if single.Seeds != nil || single.Seed != 5 {
+		t.Errorf("single-element seeds did not normalize into the scalar: %+v", single)
+	}
+
+	multi, err := Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"BIN", "MUM"},
+		Seeds: []uint64{9, 3, 9, 5}}.Canonical(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{3, 5, 9}; len(multi.Seeds) != 3 ||
+		multi.Seeds[0] != want[0] || multi.Seeds[1] != want[1] || multi.Seeds[2] != want[2] {
+		t.Errorf("seeds not sorted/deduplicated: %v, want %v", multi.Seeds, want)
+	}
+	if multi.ID() == old.ID() {
+		t.Error("multi-seed sweep shares a content address with a single run")
+	}
+	cfgs, err := multi.BuildConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 6 {
+		t.Fatalf("BuildConfigs: %d configs, want 2 benchmarks x 3 seeds", len(cfgs))
+	}
+	// Seeds of one (config, benchmark) pair must sit adjacent, in order.
+	for i, cfg := range cfgs {
+		if want := multi.Seeds[i%3]; cfg.Seed != want {
+			t.Errorf("cfgs[%d].Seed = %d, want %d (seeds adjacent per pair)", i, cfg.Seed, want)
+		}
+	}
+	if cfgs[0].Workload.Abbr != cfgs[2].Workload.Abbr || cfgs[0].Workload.Abbr == cfgs[3].Workload.Abbr {
+		t.Errorf("seed expansion not innermost: abbrs %s,%s,%s,%s",
+			cfgs[0].Workload.Abbr, cfgs[1].Workload.Abbr, cfgs[2].Workload.Abbr, cfgs[3].Workload.Abbr)
+	}
+
+	if _, err := (Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"},
+		Seeds: []uint64{1, 0}}).Canonical(100); err == nil {
+		t.Error("zero seed accepted")
+	}
+	if _, err := (Spec{Configs: []string{"TB-DOR"}, Benchmarks: []string{"MUM"},
+		Seeds: []uint64{1, 2, 3}}).Canonical(2); err == nil {
+		t.Error("seed multiplier not counted against the run cap")
+	}
+}
+
+// TestLaneBatchedJob drives the lane path end to end: a multi-seed job on a
+// lane-enabled server coalesces its seeds into lane batches, every seed
+// still gets its own run row and store record, and a re-submission is
+// served from the store without re-executing.
+func TestLaneBatchedJob(t *testing.T) {
+	var batches atomic.Int64
+	fakeLanes := func(ctx context.Context, cfg core.Config, seeds []uint64) ([]core.Result, []error) {
+		batches.Add(1)
+		results := make([]core.Result, len(seeds))
+		errs := make([]error, len(seeds))
+		for i, s := range seeds {
+			c := cfg
+			c.Seed = s
+			results[i], errs[i] = fakeRun(ctx, c)
+		}
+		return results, errs
+	}
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{
+		StorePath: filepath.Join(dir, "store.jsonl"),
+		Lanes:     2,
+		RunLanes:  fakeLanes,
+	})
+	body := `{"configs":["TB-DOR"],"benchmarks":["MUM"],"seeds":[1,2,3,4],"scale":0.05,"wait":true}`
+	resp, b := post(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Runs   []struct {
+			Seed   uint64  `json:"seed"`
+			Status string  `json:"status"`
+			IPC    float64 `json:"ipc"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "done" || len(doc.Runs) != 4 {
+		t.Fatalf("job = %s with %d runs, want done with 4", doc.Status, len(doc.Runs))
+	}
+	for _, r := range doc.Runs {
+		if r.Status != "ok" {
+			t.Errorf("run status %q, want ok", r.Status)
+		}
+	}
+	if got := batches.Load(); got != 2 {
+		t.Errorf("lane batches executed = %d, want 2 (4 seeds at width 2)", got)
+	}
+	// Re-submission: all four seeds served from the store, no new batches.
+	resp, b2 := post(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b, b2) {
+		t.Errorf("re-submission not byte-identical (status %d)", resp.StatusCode)
+	}
+	if got := batches.Load(); got != 2 {
+		t.Errorf("re-submission grew batches to %d", got)
+	}
+}

@@ -95,6 +95,12 @@ type Spec struct {
 	Benchmarks []string `json:"benchmarks"`
 	// Seed is the traffic seed; 0 normalizes to 1.
 	Seed uint64 `json:"seed"`
+	// Seeds runs every (config, benchmark) pair once per listed seed —
+	// the multi-seed sweep the lane-batched kernel coalesces. Sorted and
+	// deduplicated; zero entries are rejected. A single-element list
+	// normalizes into Seed and an empty list (and an empty list means
+	// [Seed]), so job IDs from before this field existed stay valid.
+	Seeds []uint64 `json:"seeds,omitempty"`
 	// Scale multiplies the kernel length in (0, 1]; 0 normalizes to 1.
 	Scale float64 `json:"scale"`
 	// FaultRate enables the network fault injector when positive.
@@ -147,6 +153,20 @@ func (s Spec) Canonical(maxRuns int) (Spec, error) {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if len(out.Seeds) > 0 {
+		for _, s := range out.Seeds {
+			if s == 0 {
+				return Spec{}, fmt.Errorf("seeds must be nonzero (got %v)", out.Seeds)
+			}
+		}
+		out.Seeds = sortedUniqueUint64(out.Seeds)
+		if len(out.Seeds) == 1 {
+			// Canonical single-seed form is the scalar field, keeping job
+			// IDs identical to pre-Seeds submissions of the same work.
+			out.Seed = out.Seeds[0]
+			out.Seeds = nil
+		}
+	}
 	if out.Scale == 0 {
 		out.Scale = 1
 	}
@@ -171,10 +191,19 @@ func (s Spec) Canonical(maxRuns int) (Spec, error) {
 			}
 		}
 	}
-	if runs := len(out.Configs) * len(out.Benchmarks); runs > maxRuns {
+	if runs := len(out.Configs) * len(out.Benchmarks) * len(out.SeedList()); runs > maxRuns {
 		return Spec{}, fmt.Errorf("request is %d runs, server caps jobs at %d", runs, maxRuns)
 	}
 	return out, nil
+}
+
+// SeedList returns the seeds a canonical Spec runs: the explicit Seeds
+// sweep, or the scalar Seed alone.
+func (s Spec) SeedList() []uint64 {
+	if len(s.Seeds) > 0 {
+		return s.Seeds
+	}
+	return []uint64{s.Seed}
 }
 
 // ID derives the content address of a canonical Spec: a stable hash of
@@ -220,8 +249,13 @@ func (s Spec) BuildConfigs() ([]core.Config, error) {
 			if s.FaultRate > 0 {
 				cfg = cfg.WithFaults(s.FaultRate, s.FaultSeed)
 			}
-			cfg.Seed = s.Seed
-			cfgs = append(cfgs, cfg)
+			// Seeds of one (config, benchmark) pair sit adjacent in the
+			// expansion, the shape the pool's lane coalescing batches.
+			for _, seed := range s.SeedList() {
+				c := cfg
+				c.Seed = seed
+				cfgs = append(cfgs, c)
+			}
 		}
 	}
 	return cfgs, nil
@@ -230,6 +264,19 @@ func (s Spec) BuildConfigs() ([]core.Config, error) {
 func sortedUnique(in []string) []string {
 	out := append([]string(nil), in...)
 	sort.Strings(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func sortedUniqueUint64(in []uint64) []uint64 {
+	out := append([]uint64(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	w := 0
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {

@@ -152,8 +152,21 @@ func (s *Scheduler) SkipTo(targetFs uint64) [NumDomains]uint64 {
 		if st.nextFs >= targetFs {
 			continue
 		}
-		n := (targetFs-1-st.nextFs)/st.periodFs + 1
-		last := st.nextFs + (n-1)*st.periodFs
+		var n, last uint64
+		if span := targetFs - st.nextFs; span <= st.periodFs<<2 {
+			// Small window (a handful of edges, the common case when a
+			// caller strides one fast-domain cycle at a time): count edges
+			// additively instead of paying a 64-bit division.
+			last = st.nextFs
+			n = 1
+			for e := last + st.periodFs; e < targetFs; e += st.periodFs {
+				last = e
+				n++
+			}
+		} else {
+			n = (targetFs-1-st.nextFs)/st.periodFs + 1
+			last = st.nextFs + (n-1)*st.periodFs
+		}
 		st.cycles += n
 		st.nextFs += n * st.periodFs
 		credited[d] = n

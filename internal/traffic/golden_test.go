@@ -134,3 +134,72 @@ func TestOpenLoopGoldenDigests(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenLoopGoldenDigestsLanes proves each lane of a lane-batched
+// open-loop run is bit-identical to its solo run: lane 0 carries the golden
+// seed and must reproduce the recorded digest; every sibling lane (seed+i)
+// must reproduce the digest of its own solo run, computed on the fly. The
+// lanes×shards point pins the composition of the two wall-clock-only
+// kernels. Lane count 1 is TestOpenLoopGoldenDigests itself (Run delegates
+// to the single-lane loop), so only 2 and 4 appear here.
+func TestOpenLoopGoldenDigestsLanes(t *testing.T) {
+	for _, og := range openMatrix() {
+		og := og
+		for _, lanesN := range []int{2, 4} {
+			lanesN := lanesN
+			for _, shards := range []int{1, 2} {
+				shards := shards
+				if shards != 1 && lanesN != 2 {
+					continue // one composition point per case keeps runtime sane
+				}
+				t.Run(fmt.Sprintf("%s/lanes-%d/shards-%d", og.id, lanesN, shards), func(t *testing.T) {
+					var nets []noc.Network
+					runner := NewRunner(func() (noc.Network, noc.Backend) {
+						mc := og.mesh()
+						mc.Shards = shards
+						m := noc.MustNewMesh(mc)
+						nets = append(nets, m)
+						return m, m.Backend()
+					})
+					cfg := DefaultConfig()
+					cfg.Pattern = og.pattern
+					cfg.InjectionRate = og.rate
+					cfg.WarmupCycles = 500
+					cfg.MeasureCycles = 2000
+					cfg.DrainCycles = 4000
+					cfg.Lanes = lanesN
+					results := runner.RunLanes(cfg)
+					if len(results) != lanesN || len(nets) != lanesN {
+						t.Fatalf("got %d results over %d nets, want %d lanes", len(results), len(nets), lanesN)
+					}
+					for i := range results {
+						got := digestOpenLoop(results[i], nets[i].Stats())
+						var want string
+						if i == 0 {
+							want = openGoldenDigests[og.id]
+						} else {
+							// Sibling seeds have no recorded digest; their
+							// reference is the solo run of the same seed.
+							var soloNet noc.Network
+							soloRunner := NewRunner(func() (noc.Network, noc.Backend) {
+								mc := og.mesh()
+								mc.Shards = shards
+								m := noc.MustNewMesh(mc)
+								soloNet = m
+								return m, m.Backend()
+							})
+							solo := cfg
+							solo.Lanes = 1
+							solo.Seed = cfg.Seed + uint64(i)
+							want = digestOpenLoop(soloRunner.Run(solo), soloNet.Stats())
+						}
+						if got != want {
+							t.Errorf("lane %d (seed %d) is not bit-identical to its solo run:\n got  %s\n want %s",
+								i, cfg.Seed+uint64(i), got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// Bernoulli injectors draw no RNG outside the injection phases); the
 	// zero value keeps skipping on.
 	NoIdleSkip bool
+
+	// Lanes batches that many seed replicas (Seed, Seed+1, …) of this
+	// operating point through one lockstep cycle loop (RunLanes). Like the
+	// closed-loop lane kernel, batching is wall-clock-only: lane i is
+	// bit-identical to a solo Run with Seed+i. 0 and 1 both mean solo.
+	Lanes int
 }
 
 // DefaultConfig returns the Fig 21 setup: 1-flit requests, 4-flit replies.
@@ -117,132 +123,216 @@ type pendingReply struct {
 	measured  bool
 }
 
-// Run measures one offered load point.
+// laneRun is one seed replica's mutable state in the lockstep cycle loop:
+// its own network, rng stream, reply backlogs and accumulators. The loop
+// shares only the cycle counter and the immutable node-role geometry.
+type laneRun struct {
+	net                noc.Network
+	rng                *xrand.Rand
+	lat, rtt           stats.Mean
+	hist               *stats.Histogram
+	measured           int
+	dropCycles         int
+	replyFlitsInjected uint64
+	backlog            map[noc.NodeID][]pendingReply
+	live               bool
+}
+
+// Run measures one offered load point. It is the single-lane case of the
+// lockstep loop — with one lane the min-reduced drain skip degenerates to
+// the solo fast-forward, which the open-loop golden digests pin bit-exactly.
 func (r *Runner) Run(cfg Config) Result {
-	net, backend := r.build()
-	rng := xrand.New(cfg.Seed)
-	comp := backend.ComputeNodes()
-	mcs := backend.MCs()
-	if len(mcs) == 0 {
-		panic("traffic: network has no MC nodes")
+	cfg.Lanes = 1
+	return r.RunLanes(cfg)[0]
+}
+
+// RunLanes measures cfg.Lanes seed replicas (Seed, Seed+1, …) of one
+// offered load point through a single lockstep cycle loop, returning one
+// Result per lane. Each lane keeps its own network and rng; the loop
+// advances all live lanes together, min-reduces the drain-phase idle-skip
+// horizon across them, and retires a lane individually the moment its
+// remaining drain window is provably empty — a retired lane's cycles are
+// credited in bulk and it stops contributing to horizons and ticks. Lane i
+// is bit-identical to a solo Run with Seed+i.
+func (r *Runner) RunLanes(cfg Config) []Result {
+	n := cfg.Lanes
+	if n <= 0 {
+		n = 1
+	}
+	var comp, mcs []noc.NodeID
+	lanes := make([]*laneRun, n)
+	for i := range lanes {
+		net, backend := r.build()
+		if i == 0 {
+			comp = backend.ComputeNodes()
+			mcs = backend.MCs()
+			if len(mcs) == 0 {
+				panic("traffic: network has no MC nodes")
+			}
+		}
+		lanes[i] = &laneRun{
+			net:     net,
+			rng:     xrand.New(cfg.Seed + uint64(i)),
+			hist:    stats.NewHistogram(4, 1024), // latency buckets up to 4096 cycles
+			backlog: make(map[noc.NodeID][]pendingReply),
+			live:    true,
+		}
 	}
 	hot := mcs[0]
-
-	var lat stats.Mean
-	var rtt stats.Mean
-	hist := stats.NewHistogram(4, 1024) // latency buckets up to 4096 cycles
-	measured := 0
-	dropCycles := 0
-	replyFlitsInjected := uint64(0)
-
-	// Per-compute-node Bernoulli injectors; per-MC reply backlogs.
-	backlog := make(map[noc.NodeID][]pendingReply)
+	liveN := n
 
 	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
 	measureStart := uint64(cfg.WarmupCycles)
 	measureEnd := uint64(cfg.WarmupCycles + cfg.MeasureCycles)
 
-	for cyc := 0; cyc < total; cyc++ {
-		now := net.Cycle()
+	for cyc := 0; cyc < total && liveN > 0; cyc++ {
 		injecting := cyc < cfg.WarmupCycles+cfg.MeasureCycles
-		if injecting {
+		for _, l := range lanes {
+			if !l.live {
+				continue
+			}
+			now := l.net.Cycle()
+			if injecting {
+				for _, c := range comp {
+					if !l.rng.Bool(cfg.InjectionRate) {
+						continue
+					}
+					var dst noc.NodeID
+					if cfg.Pattern == Hotspot {
+						// Exactly HotspotFraction of requests target the hot
+						// MC; the rest spread over the remaining controllers.
+						if l.rng.Bool(HotspotFraction) {
+							dst = hot
+						} else {
+							dst = mcs[1+l.rng.Intn(len(mcs)-1)]
+						}
+					} else {
+						dst = mcs[l.rng.Intn(len(mcs))]
+					}
+					inMeasure := now >= measureStart && now < measureEnd
+					pkt := &noc.Packet{Src: c, Dst: dst, Class: noc.ClassRequest, Bytes: 8,
+						Meta: pendingReply{dst: c, offeredAt: now, measured: inMeasure}}
+					if !l.net.TryInject(pkt) {
+						l.dropCycles++
+					}
+				}
+			}
+			// MCs turn arrived requests into replies.
+			for _, mc := range mcs {
+				for _, pkt := range l.net.Delivered(mc) {
+					pr := pkt.Meta.(pendingReply)
+					if pr.measured {
+						l.lat.Add(float64(pkt.TotalLatency()))
+						l.hist.Add(float64(pkt.TotalLatency()))
+					}
+					l.backlog[mc] = append(l.backlog[mc], pr)
+				}
+				q := l.backlog[mc]
+				nAcc := 0
+				for _, pr := range q {
+					reply := &noc.Packet{Src: mc, Dst: pr.dst, Class: noc.ClassReply,
+						Bytes: cfg.ReplyBytes, Meta: pr}
+					if !l.net.TryInject(reply) {
+						break
+					}
+					l.replyFlitsInjected++
+					nAcc++
+				}
+				l.backlog[mc] = q[:copy(q, q[nAcc:])]
+			}
+			// Compute nodes absorb replies.
 			for _, c := range comp {
-				if !rng.Bool(cfg.InjectionRate) {
+				for _, pkt := range l.net.Delivered(c) {
+					pr := pkt.Meta.(pendingReply)
+					if pr.measured {
+						l.lat.Add(float64(pkt.TotalLatency()))
+						l.hist.Add(float64(pkt.TotalLatency()))
+						l.rtt.Add(float64(pkt.ArrivedAt - pr.offeredAt))
+						l.measured++
+					}
+				}
+			}
+		}
+		// Drain-phase fast-forward, min-reduced across live lanes: with
+		// injection over, a lane whose deliveries are absorbed and whose
+		// reply backlogs are empty can only wait on its own network, so the
+		// loop may credit idle ticks in bulk (SkipAhead is bit-identical to
+		// that many empty Ticks). The shared cycle counter advances by the
+		// LARGEST skip every live lane permits; a lane that could skip
+		// further just takes provably-idle Ticks instead, which is the same
+		// thing. A lane whose horizon clears the end of the run retires on
+		// the spot: its remaining window is credited in one skip plus the
+		// final tick (exactly the solo epilogue), after which it stops
+		// contributing ticks, skips or horizon terms.
+		if !cfg.NoIdleSkip && !injecting {
+			left := uint64(total - cyc - 1)
+			k := left
+			for _, l := range lanes {
+				if !l.live {
 					continue
 				}
-				var dst noc.NodeID
-				if cfg.Pattern == Hotspot {
-					// Exactly HotspotFraction of requests target the hot MC;
-					// the rest spread over the remaining controllers.
-					if rng.Bool(HotspotFraction) {
-						dst = hot
-					} else {
-						dst = mcs[1+rng.Intn(len(mcs)-1)]
+				if !backlogEmpty(l.backlog, mcs) {
+					k = 0
+					continue
+				}
+				w := l.net.NextWorkCycle()
+				if w >= uint64(total) {
+					if left > 0 {
+						l.net.SkipAhead(left)
 					}
-				} else {
-					dst = mcs[rng.Intn(len(mcs))]
+					l.net.Tick()
+					l.live = false
+					liveN--
+					continue
 				}
-				inMeasure := now >= measureStart && now < measureEnd
-				pkt := &noc.Packet{Src: c, Dst: dst, Class: noc.ClassRequest, Bytes: 8,
-					Meta: pendingReply{dst: c, offeredAt: now, measured: inMeasure}}
-				if !net.TryInject(pkt) {
-					dropCycles++
+				kl := uint64(0)
+				if w > uint64(cyc)+1 {
+					kl = w - uint64(cyc) - 1
 				}
+				if kl < k {
+					k = kl
+				}
+			}
+			if liveN == 0 {
+				break
+			}
+			if k > 0 {
+				for _, l := range lanes {
+					if l.live {
+						l.net.SkipAhead(k)
+					}
+				}
+				cyc += int(k)
 			}
 		}
-		// MCs turn arrived requests into replies.
-		for _, mc := range mcs {
-			for _, pkt := range net.Delivered(mc) {
-				pr := pkt.Meta.(pendingReply)
-				if pr.measured {
-					lat.Add(float64(pkt.TotalLatency()))
-					hist.Add(float64(pkt.TotalLatency()))
-				}
-				backlog[mc] = append(backlog[mc], pr)
-			}
-			q := backlog[mc]
-			n := 0
-			for _, pr := range q {
-				reply := &noc.Packet{Src: mc, Dst: pr.dst, Class: noc.ClassReply,
-					Bytes: cfg.ReplyBytes, Meta: pr}
-				if !net.TryInject(reply) {
-					break
-				}
-				replyFlitsInjected++
-				n++
-			}
-			backlog[mc] = q[:copy(q, q[n:])]
-		}
-		// Compute nodes absorb replies.
-		for _, c := range comp {
-			for _, pkt := range net.Delivered(c) {
-				pr := pkt.Meta.(pendingReply)
-				if pr.measured {
-					lat.Add(float64(pkt.TotalLatency()))
-					hist.Add(float64(pkt.TotalLatency()))
-					rtt.Add(float64(pkt.ArrivedAt - pr.offeredAt))
-					measured++
-				}
+		for _, l := range lanes {
+			if l.live {
+				l.net.Tick()
 			}
 		}
-		// Drain-phase fast-forward: with injection over, all deliveries
-		// absorbed and no queued replies, nothing outside the network can
-		// act until the network itself does. Credit the idle ticks in bulk
-		// (SkipAhead is defined to be bit-identical to that many empty
-		// Ticks) and leave the remaining real ticks to the loop.
-		if !cfg.NoIdleSkip && !injecting && backlogEmpty(backlog, mcs) {
-			if w := net.NextWorkCycle(); w > uint64(cyc)+1 {
-				k := w - uint64(cyc) - 1
-				if left := uint64(total - cyc - 1); k > left {
-					k = left
-				}
-				if k > 0 {
-					net.SkipAhead(k)
-					cyc += int(k)
-				}
-			}
-		}
-		net.Tick()
 	}
 
-	st := net.Stats()
-	backlogged := 0
-	for _, q := range backlog {
-		backlogged += len(q)
+	out := make([]Result, n)
+	for i, l := range lanes {
+		st := l.net.Stats()
+		backlogged := 0
+		for _, q := range l.backlog {
+			backlogged += len(q)
+		}
+		out[i] = Result{
+			OfferedLoad:     cfg.InjectionRate,
+			AcceptedLoad:    st.AcceptedFlitsPerCycle(),
+			AvgLatency:      l.lat.Value(),
+			P50Latency:      l.hist.Percentile(0.50),
+			P99Latency:      l.hist.Percentile(0.99),
+			AvgRoundTrip:    l.rtt.Value(),
+			MeasuredPackets: l.measured,
+			Saturated: l.dropCycles > cfg.MeasureCycles*len(comp)/20 ||
+				backlogged > 10*len(mcs),
+			ReplyInjectRate: float64(l.replyFlitsInjected) / float64(st.Cycles) / float64(len(mcs)),
+		}
 	}
-	res := Result{
-		OfferedLoad:     cfg.InjectionRate,
-		AcceptedLoad:    st.AcceptedFlitsPerCycle(),
-		AvgLatency:      lat.Value(),
-		P50Latency:      hist.Percentile(0.50),
-		P99Latency:      hist.Percentile(0.99),
-		AvgRoundTrip:    rtt.Value(),
-		MeasuredPackets: measured,
-		Saturated: dropCycles > cfg.MeasureCycles*len(comp)/20 ||
-			backlogged > 10*len(mcs),
-		ReplyInjectRate: float64(replyFlitsInjected) / float64(st.Cycles) / float64(len(mcs)),
-	}
-	return res
+	return out
 }
 
 // backlogEmpty reports whether no MC holds a queued reply.

@@ -24,9 +24,16 @@ OUT="${2:-BENCH_$(date +%F).json}"
 	# (…-s1/-s2/-s4) additionally get a derived speedup_vs_s1 metric from
 	# cmd/benchjson (suppressed on single-core hosts, where the ratio would
 	# only measure coordination overhead).
-	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel|BenchmarkBackendKernel' -benchmem -benchtime 2000x ./internal/noc/
+	# The lane-batched kernel rows (…-l1/-l4) likewise get a derived
+	# per-seed speedup_vs_l1 metric (valid on any host: lane batching is
+	# work elision, not parallelism).
+	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel|BenchmarkBackendKernel|BenchmarkLaneKernel' -benchmem -benchtime 2000x ./internal/noc/
 	# Class-representative figure benchmarks (hm_speedup metrics et al) and
 	# the idle-horizon fast-forward pairs, whose skip rows get a derived
 	# speedup_vs_noskip metric from cmd/benchjson.
 	go test -run '^$' -bench 'Fig|Table|Headline|IdleSkip' -benchmem -benchtime 1x .
+	# Lane-batched end-to-end throughput (memory-bound manycore closed loop
+	# at 1 and 4 seed lanes). Longer benchtime: the per-seed speedup_vs_l1
+	# ratio is the headline number and single-iteration noise would swamp it.
+	go test -run '^$' -bench 'BenchmarkLaneThroughput' -benchmem -benchtime 5x .
 } 2>&1 | go run ./cmd/benchjson -label "$LABEL" -out "$OUT"
