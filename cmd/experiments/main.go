@@ -1,6 +1,10 @@
 // Command experiments regenerates the paper's evaluation tables and
 // figures. Each figure/table has an identifier (fig2..fig21, table6,
-// headline); "all" runs the full evaluation in paper order.
+// headline); "all" runs the full evaluation in paper order. The separate
+// "explore" experiment sweeps the full design-space grid through
+// successive-halving rungs toward a throughput-effectiveness Pareto
+// frontier (-frontier-json writes the machine-readable result); it is too
+// expensive to ride along in "all", so it only runs when named.
 //
 // Simulations run through a resilient worker pool: -jobs bounds
 // concurrency (tables are byte-identical for any value), -run-timeout
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,7 +47,11 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"column-band shards per network tick (0 = serial kernel, -1 = auto; capped so jobs*lanes*shards <= GOMAXPROCS)")
 	lanes := flag.Int("lanes", 0,
-		"lane-batch same-config different-seed runs that many at a time through one cycle loop (0/1 = solo; bit-identical results)")
+		"lane-batch same-config different-seed runs that many at a time through one cycle loop (0 = let the sweep planner pick; bit-identical results)")
+	seeds := flag.String("seeds", "",
+		"comma-separated traffic seeds for seed-averaged sweeps (resilience, explore); replicas run as one lane batch")
+	frontierJSON := flag.String("frontier-json", "",
+		"write the explore experiment's machine-readable frontier to this file")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); expired runs become DNF rows")
 	retries := flag.Int("retries", 1, "extra attempts for transient DNFs (stall/timeout)")
 	checkpoint := flag.String("checkpoint", "", "JSONL journal recording each finished run (fsynced per record)")
@@ -52,7 +61,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	pprofOut := prof.AddFlags()
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] %s|all\n", strings.Join(experiments.IDs(), "|"))
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] %s|explore|all\n", strings.Join(experiments.IDs(), "|"))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +94,16 @@ func main() {
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *seeds != "" {
+		for _, s := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -seeds: %v\n", err)
+				os.Exit(2)
+			}
+			opts.Seeds = append(opts.Seeds, v)
+		}
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -130,11 +149,29 @@ func main() {
 	}
 	pprofOut.Stop() // profile covers the sweep, not the summary
 
-	// Closing summary: per-status outcome counts, attempt accounting and
-	// the DNF rows excluded from the aggregates.
+	// Machine-readable frontier for downstream tooling.
+	if f := suite.Frontier(); f != nil && *frontierJSON != "" {
+		data, err := f.JSON()
+		if err == nil {
+			err = os.WriteFile(*frontierJSON, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: frontier-json:", err)
+			suite.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("frontier written to %s (%d points)\n", *frontierJSON, len(f.Points))
+	}
+
+	// Closing summary: per-status outcome counts, attempt accounting, the
+	// explorer's early-termination savings, and the DNF rows excluded from
+	// the aggregates.
 	var outcomes stats.Outcomes
 	for _, o := range suite.Outcomes() {
 		outcomes.Observe(o.Result.Status, o.Attempts)
+	}
+	if f := suite.Frontier(); f != nil {
+		outcomes.AddEarlyTermination(f.KilledEarly, f.SimulatedCycles, f.ExhaustiveCycles)
 	}
 	dnf := suite.DNF()
 	if outcomes.Total() > 0 {

@@ -44,6 +44,51 @@ func faultyCfg(cfg core.Config, rate float64) core.Config {
 	return cfg
 }
 
+// collapseSeeds averages a sweep point's seed replicas into one
+// representative result. A single replica — the suite default — passes
+// through untouched, so single-seed tables keep their exact bytes. With
+// replicas, IPC and the fault counters become means over the replicas that
+// finished; Status stays "ok" only when every replica finished and
+// otherwise reports the degraded fraction with the first verdict, so a
+// partially-degraded point reads as missing data instead of a polluted
+// mean.
+func collapseSeeds(runs []core.Result) core.Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	agg := runs[0]
+	var ok int
+	var ipc, retries float64
+	var retx, dropped uint64
+	var firstBad string
+	for _, r := range runs {
+		if !r.OK() {
+			if firstBad == "" {
+				firstBad = r.Status
+			}
+			continue
+		}
+		ok++
+		ipc += r.IPC
+		retries += r.AvgRetries
+		retx += r.RetxPackets
+		dropped += r.DroppedPackets
+	}
+	if ok == 0 {
+		return agg // every replica degraded: report the first as-is
+	}
+	agg.IPC = ipc / float64(ok)
+	agg.AvgRetries = retries / float64(ok)
+	agg.RetxPackets = retx / uint64(ok)
+	agg.DroppedPackets = dropped / uint64(ok)
+	if ok == len(runs) {
+		agg.Status = "ok"
+	} else {
+		agg.Status = fmt.Sprintf("%d/%d %s", len(runs)-ok, len(runs), firstBad)
+	}
+	return agg
+}
+
 // Resilience is this repository's robustness experiment (not in the paper):
 // it sweeps the network fault injector's master rate and reports how much
 // application throughput the end-to-end retransmission layer retains, for
@@ -64,14 +109,16 @@ func (s *Suite) Resilience() *Report {
 	bench := s.resilienceBench()
 	worstRate := resilienceRates[len(resilienceRates)-1]
 
-	// Warm the full (config × benchmark × fault-rate) grid in parallel.
+	// Warm the full (config × benchmark × fault-rate × seed) grid through
+	// the sweep planner: each point's seed replicas differ only in Seed,
+	// so they coalesce into one lane batch.
 	var cfgs []core.Config
 	for _, c := range configs {
 		for _, p := range bench {
-			cfgs = append(cfgs, c.mk(p))
+			cfgs = append(cfgs, s.seedReplicas(c.mk(p))...)
 			for _, rate := range resilienceRates {
 				if rate > 0 {
-					cfgs = append(cfgs, faultyCfg(c.mk(p), rate))
+					cfgs = append(cfgs, s.seedReplicas(faultyCfg(c.mk(p), rate))...)
 				}
 			}
 		}
@@ -82,11 +129,11 @@ func (s *Suite) Resilience() *Report {
 	for _, c := range configs {
 		var retained []float64
 		for _, p := range bench {
-			base := s.run(c.mk(p))
+			base := collapseSeeds(s.runSeeds(c.mk(p)))
 			for _, rate := range resilienceRates {
 				r := base
 				if rate > 0 {
-					r = s.run(faultyCfg(c.mk(p), rate))
+					r = collapseSeeds(s.runSeeds(faultyCfg(c.mk(p), rate)))
 				}
 				rel := "-"
 				if r.OK() && base.OK() && base.IPC > 0 {

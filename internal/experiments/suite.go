@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -53,7 +54,13 @@ type Options struct {
 	// lane-batched executions of that width (see runner.Options.Lanes and
 	// core.RunLanes). Every lane is bit-identical to its solo run, so like
 	// Shards it never enters cache keys; 0 and 1 both disable coalescing.
+	// When 0, the sweep planner auto-tunes the width per batch instead.
 	Lanes int
+	// Seeds lists the traffic seeds for figures that average over seed
+	// replicas (resilience). The replicas differ only in Seed, so the
+	// sweep planner submits each set as one lane batch. Empty keeps every
+	// builder's own seed — single-seed tables stay byte-identical.
+	Seeds []uint64
 	// NoIdleSkip forces edge-by-edge stepping instead of idle-horizon
 	// fast-forwarding. Results are bit-identical either way, so like
 	// Shards it never enters cache keys; the zero value keeps skipping on.
@@ -100,9 +107,10 @@ func (r *Report) String() string {
 // runner.Pool, which supplies the worker pool, per-run deadlines, panic
 // isolation, retries and the checkpoint journal.
 type Suite struct {
-	opts  Options
-	bench []workload.Profile
-	pool  *runner.Pool
+	opts     Options
+	bench    []workload.Profile
+	pool     *runner.Pool
+	frontier *explore.Frontier // last Explore result (nil before any)
 }
 
 // New builds a suite.
@@ -184,17 +192,51 @@ func (s *Suite) run(cfg core.Config) core.Result {
 	return s.pool.Do(cfg).Result
 }
 
-// runAll warms the result cache by pushing cfgs through the worker pool in
-// parallel. Figures call it (directly or via prefetch) before their serial
-// rendering loops, which then hit the cache; rendering order — and thus
-// table bytes — is independent of the worker count.
+// runAll warms the result cache by pushing cfgs through the sweep planner:
+// same-configuration/different-seed replicas coalesce into single lane
+// batches and groups are ordered for cache/journal locality. Figures call
+// it (directly or via prefetch) before their serial rendering loops, which
+// then hit the cache; planning is order-insensitive and lanes are
+// bit-identical to solo runs, so rendering order — and thus table bytes —
+// is independent of the worker count, the lane width and the plan.
 func (s *Suite) runAll(cfgs []core.Config) {
 	scaled := make([]core.Config, len(cfgs))
 	for i, c := range cfgs {
 		scaled[i] = c.ScaleWork(s.opts.Scale)
 		scaled[i].NoIdleSkip = s.opts.NoIdleSkip
 	}
-	s.pool.DoAll(scaled)
+	ctx := s.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.pool.DoAllPlanned(ctx, scaled)
+}
+
+// seedReplicas expands cfg into one copy per suite seed. The replicas share
+// a lane group — only Seed differs — so runAll submits the set as one lane
+// batch. With no seed list the builder's own seed rides through untouched.
+func (s *Suite) seedReplicas(cfg core.Config) []core.Config {
+	if len(s.opts.Seeds) == 0 {
+		return []core.Config{cfg}
+	}
+	out := make([]core.Config, len(s.opts.Seeds))
+	for i, seed := range s.opts.Seeds {
+		c := cfg
+		c.Seed = seed
+		out[i] = c
+	}
+	return out
+}
+
+// runSeeds executes (or recalls) cfg's replica set and returns the per-seed
+// results in seed-list order.
+func (s *Suite) runSeeds(cfg core.Config) []core.Result {
+	reps := s.seedReplicas(cfg)
+	out := make([]core.Result, len(reps))
+	for i, c := range reps {
+		out[i] = s.run(c)
+	}
+	return out
 }
 
 // prefetch warms the cache for every (benchmark × builder) combination.

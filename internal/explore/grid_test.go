@@ -1,0 +1,147 @@
+package explore
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestGridCandidates pins the enumeration contract on the default grid:
+// names are unique and sorted, the paper's combined design is present, the
+// simulator-invalid combinations are filtered, and the backend-specific
+// axis collapses hold.
+func TestGridCandidates(t *testing.T) {
+	cands, err := DefaultGrid().Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 100 {
+		t.Fatalf("default grid enumerates %d candidates, want >= 100", len(cands))
+	}
+	seen := make(map[string]bool, len(cands))
+	paper := false
+	for i, c := range cands {
+		if seen[c.Name] {
+			t.Errorf("duplicate candidate %s", c.Name)
+		}
+		seen[c.Name] = true
+		if i > 0 && cands[i-1].Name >= c.Name {
+			t.Errorf("candidates not sorted: %s before %s", cands[i-1].Name, c.Name)
+		}
+		if c.Name == PaperPointName {
+			paper = true
+		}
+		if c.NoCArea <= 0 || c.ChipArea <= c.NoCArea {
+			t.Errorf("%s: bad areas NoC=%v chip=%v", c.Name, c.NoCArea, c.ChipArea)
+		}
+		switch c.Topology {
+		case "basejump":
+			if c.FlitB != singleFlitWidth() {
+				t.Errorf("%s: basejump channel %dB, want pinned %dB", c.Name, c.FlitB, singleFlitWidth())
+			}
+			if c.Double {
+				t.Errorf("%s: single-flit backend cannot slice into a double network", c.Name)
+			}
+		case "ring":
+			if c.Placement != "tb" || c.Routing != "dor" {
+				t.Errorf("%s: non-mesh placement/routing axes should collapse, got %s/%s",
+					c.Name, c.Placement, c.Routing)
+			}
+		}
+		if c.Routing == "cr" && c.Placement != "cp" {
+			t.Errorf("%s: checkerboard routing without checkerboard placement", c.Name)
+		}
+	}
+	if !paper {
+		t.Errorf("paper point %s not enumerated", PaperPointName)
+	}
+	// Checkerboard routing on a single network needs 4 VCs (two phases ×
+	// split classes); the 2-VC variant only exists sliced.
+	if seen["x-mesh-cp-cr-vc2-bd8-fb16-p2"] {
+		t.Error("invalid single-network CR 2-VC candidate survived enumeration")
+	}
+	if !seen["x-mesh-cp-cr-vc2-bd8-fb16-p2-dbl"] {
+		t.Error("sliced CR 2-VC candidate missing")
+	}
+}
+
+// TestCandidateBuildCarriesName: runner cache identity comes from the
+// candidate name, and rung budgets land in the kernel length.
+func TestCandidateBuildCarriesName(t *testing.T) {
+	cands, err := tinyGrid().Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := mumProfile(t)
+	for _, c := range cands {
+		cfg := c.Build(prof)
+		if cfg.Name != c.Name {
+			t.Errorf("Build name %q, want %q", cfg.Name, c.Name)
+		}
+		if got := cfg.ScaleWork(0.05).Workload.InstrsPerWarp; got >= cfg.Workload.InstrsPerWarp {
+			t.Errorf("%s: budget scaling did not shorten the kernel (%d -> %d)",
+				c.Name, cfg.Workload.InstrsPerWarp, got)
+		}
+	}
+}
+
+// TestKillPass pins the dominance-kill semantics: only surviving candidates
+// kill, the margin protects near-ties, and margin 0 reproduces the exact
+// Pareto frontier.
+func TestKillPass(t *testing.T) {
+	est := map[int]Estimate{
+		0: {Candidate: "a", IPC: 10.0, ChipArea: 5},
+		1: {Candidate: "b", IPC: 9.3, ChipArea: 5},  // within 10% of a: survives at margin 0.10
+		2: {Candidate: "c", IPC: 8.6, ChipArea: 5},  // dominated by a beyond the margin
+		3: {Candidate: "d", IPC: 11.0, ChipArea: 9}, // bigger area, best IPC: survives
+	}
+	scored := []int{0, 1, 2, 3}
+
+	survivors, kills := killPass(scored, est, 0.10)
+	if want := []int{0, 1, 3}; !equalInts(survivors, want) {
+		t.Errorf("margin 0.10 survivors = %v, want %v", survivors, want)
+	}
+	if len(kills) != 1 || kills[0].Candidate != "c" || kills[0].By != "a" {
+		t.Errorf("margin 0.10 kills = %+v, want c killed by a", kills)
+	}
+
+	// Margin 0 must equal the exact Pareto frontier.
+	survivors, _ = killPass(scored, est, 0)
+	var ipc, chip []float64
+	for _, i := range scored {
+		ipc = append(ipc, est[i].IPC)
+		chip = append(chip, est[i].ChipArea)
+	}
+	frontier := stats.ParetoFrontier(ipc, chip)
+	sort.Ints(frontier)
+	if !equalInts(survivors, frontier) {
+		t.Errorf("margin 0 survivors = %v, want Pareto frontier %v", survivors, frontier)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperPointNameMatchesGrammar: the validation constant stays in sync
+// with the name derivation.
+func TestPaperPointNameMatchesGrammar(t *testing.T) {
+	c := Candidate{Topology: "mesh", Placement: "cp", Routing: "cr",
+		VCs: 2, BufDepth: 8, FlitB: 16, Double: true, InjPorts: 2}
+	if got := c.name(); got != PaperPointName {
+		t.Errorf("derived name %q, constant %q", got, PaperPointName)
+	}
+	if !strings.HasPrefix(PaperPointName, "x-mesh-cp-cr") {
+		t.Errorf("paper point %q should be a checkerboard mesh design", PaperPointName)
+	}
+}

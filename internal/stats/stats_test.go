@@ -165,3 +165,81 @@ func TestTableSortUnknownColumnIsNoop(t *testing.T) {
 		t.Error("sort by missing column should not reorder rows")
 	}
 }
+
+func TestDominatesWithMargin(t *testing.T) {
+	cases := []struct {
+		name        string
+		ipcA, areaA float64
+		ipcB, areaB float64
+		margin      float64
+		want        bool
+	}{
+		{"strictly better both axes", 2, 10, 1, 20, 0, true},
+		{"better ipc same area", 2, 10, 1, 10, 0, true},
+		{"same ipc smaller area", 1, 5, 1, 10, 0, true},
+		{"identical points never dominate", 1, 10, 1, 10, 0, false},
+		{"larger area never dominates", 3, 20, 1, 10, 0, false},
+		{"margin protects near point", 1.05, 10, 1, 10, 0.10, false},
+		{"margin cleared", 1.2, 10, 1, 10, 0.10, true},
+		{"margin boundary needs strict ipc or area", 1.1, 10, 1, 10, 0.10, true},
+		{"worse ipc never dominates", 0.5, 5, 1, 10, 0, false},
+	}
+	for _, c := range cases {
+		if got := DominatesWithMargin(c.ipcA, c.areaA, c.ipcB, c.areaB, c.margin); got != c.want {
+			t.Errorf("%s: DominatesWithMargin(%v,%v,%v,%v,%v) = %v, want %v",
+				c.name, c.ipcA, c.areaA, c.ipcB, c.areaB, c.margin, got, c.want)
+		}
+	}
+	if !Dominates(2, 10, 1, 20) || Dominates(1, 10, 1, 10) {
+		t.Error("Dominates must be DominatesWithMargin at margin 0")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	// Points: (ipc, area). 0 and 2 are on the frontier; 1 is dominated by 0;
+	// 3 duplicates 0 exactly so both survive.
+	ipc := []float64{2.0, 1.5, 1.0, 2.0}
+	area := []float64{10, 10, 5, 10}
+	got := ParetoFrontier(ipc, area)
+	want := []int{2, 0, 3} // sorted by area asc, then ipc desc, then index
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+	if f := ParetoFrontier(nil, nil); len(f) != 0 {
+		t.Errorf("empty input frontier = %v, want empty", f)
+	}
+}
+
+func TestOutcomesEarlyTermination(t *testing.T) {
+	var o Outcomes
+	if o.CycleSavings() != 0 {
+		t.Error("zero Outcomes should report 0 savings")
+	}
+	if !strings.Contains(o.Summary(), "0 runs") {
+		t.Errorf("summary = %q", o.Summary())
+	}
+	o.Observe("ok", 1)
+	if strings.Contains(o.Summary(), "explorer") {
+		t.Errorf("summary should not mention the explorer before savings are recorded: %q", o.Summary())
+	}
+	o.AddEarlyTermination(90, 1000, 4000)
+	o.AddEarlyTermination(10, 0, 0)
+	if o.KilledEarly() != 100 {
+		t.Errorf("killed = %d, want 100", o.KilledEarly())
+	}
+	if o.SimulatedCycles() != 1000 || o.ExhaustiveCycles() != 4000 {
+		t.Errorf("cycles = %d/%d, want 1000/4000", o.SimulatedCycles(), o.ExhaustiveCycles())
+	}
+	if got := o.CycleSavings(); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("savings = %v, want 4.0", got)
+	}
+	sum := o.Summary()
+	if !strings.Contains(sum, "killed 100 config(s) early") || !strings.Contains(sum, "4.0x saved") {
+		t.Errorf("summary = %q, want early-termination savings", sum)
+	}
+}

@@ -28,6 +28,10 @@ OUT="${2:-BENCH_$(date +%F).json}"
 	# per-seed speedup_vs_l1 metric (valid on any host: lane batching is
 	# work elision, not parallelism).
 	go test -run '^$' -bench 'BenchmarkCycleKernel|BenchmarkShardedKernel|BenchmarkBackendKernel|BenchmarkLaneKernel' -benchmem -benchtime 2000x ./internal/noc/
+	# Sweep-planner microbenchmarks: a warm re-plan of an explorer-shaped
+	# sweep (alloc-gated at 0 allocs/op in CI) plus the naive-vs-planned
+	# submission comparison on a stub kernel.
+	go test -run '^$' -bench 'BenchmarkSweepPlanner|BenchmarkSweepSubmission' -benchmem -benchtime 200x ./internal/runner/
 	# Class-representative figure benchmarks (hm_speedup metrics et al) and
 	# the idle-horizon fast-forward pairs, whose skip rows get a derived
 	# speedup_vs_noskip metric from cmd/benchjson.
